@@ -1,0 +1,122 @@
+// EXP-F1 — Buddy allocation scheme (paper Fig. 1).
+//
+// Part 1 reproduces the figure's mechanism as a trace: the split path taken
+// when a small block is carved out of a large free block, and the coalesce
+// cascade when it is freed again.
+// Part 2 measures allocator throughput with google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "mm/buddy.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace explframe;
+using namespace explframe::mm;
+
+void print_split_and_coalesce_trace() {
+  print_banner(std::cout, "EXP-F1: buddy allocation scheme (Fig. 1)");
+
+  PageFrameDatabase db(4096);
+  BuddyAllocator buddy(db, 0, 4096, 0);
+
+  std::cout << "\nfree blocks per order before allocation (buddyinfo):\n";
+  {
+    Table t({"order", "block pages", "free blocks"});
+    const auto info = buddy.buddyinfo();
+    for (std::uint32_t o = 0; o < kMaxOrder; ++o)
+      t.row(o, std::size_t{1} << o, info[o]);
+    t.print(std::cout);
+  }
+
+  std::vector<SplitTraceEntry> trace;
+  const Pfn p = buddy.alloc_block(0, &trace);
+  std::cout << "\nalloc_block(order=0) -> pfn " << p
+            << " (split path, Fig. 1 left):\n";
+  {
+    Table t({"took block at pfn", "from order", "split down to"});
+    for (const auto& e : trace) t.row(e.block, e.from_order, e.to_order);
+    t.print(std::cout);
+    std::cout << "splits performed: " << buddy.stats().splits << "\n";
+  }
+
+  std::cout << "\nfree blocks per order after the order-0 allocation:\n";
+  {
+    Table t({"order", "free blocks"});
+    const auto info = buddy.buddyinfo();
+    for (std::uint32_t o = 0; o < kMaxOrder; ++o) t.row(o, info[o]);
+    t.print(std::cout);
+  }
+
+  buddy.free_block(p, 0);
+  std::cout << "\nfree_block(pfn " << p
+            << ") coalesced back (Fig. 1 right): coalesce events = "
+            << buddy.stats().coalesces << ", max-order blocks restored = "
+            << buddy.free_blocks(kMaxOrder - 1) << "\n";
+
+  // The paper's 1 MiB example: a 2^8-page request.
+  PageFrameDatabase db2(4096);
+  BuddyAllocator buddy2(db2, 0, 4096, 0);
+  std::vector<SplitTraceEntry> trace2;
+  const Pfn big = buddy2.alloc_block(8, &trace2);
+  std::cout << "\nalloc_block(order=8) [the paper's 1 MiB example] -> pfn "
+            << big << ", splits = " << buddy2.stats().splits << "\n";
+  buddy2.verify();
+}
+
+void BM_BuddyAllocFreeOrder0(benchmark::State& state) {
+  PageFrameDatabase db(1 << 16);
+  BuddyAllocator buddy(db, 0, 1 << 16, 0);
+  for (auto _ : state) {
+    const Pfn p = buddy.alloc_block(0);
+    benchmark::DoNotOptimize(p);
+    buddy.free_block(p, 0);
+  }
+}
+BENCHMARK(BM_BuddyAllocFreeOrder0);
+
+void BM_BuddyAllocFreeByOrder(benchmark::State& state) {
+  PageFrameDatabase db(1 << 16);
+  BuddyAllocator buddy(db, 0, 1 << 16, 0);
+  const auto order = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const Pfn p = buddy.alloc_block(order);
+    benchmark::DoNotOptimize(p);
+    buddy.free_block(p, order);
+  }
+}
+BENCHMARK(BM_BuddyAllocFreeByOrder)->DenseRange(0, 10, 2);
+
+void BM_BuddyChurn(benchmark::State& state) {
+  PageFrameDatabase db(1 << 16);
+  BuddyAllocator buddy(db, 0, 1 << 16, 0);
+  Rng rng(1);
+  std::vector<std::pair<Pfn, std::uint32_t>> held;
+  for (auto _ : state) {
+    if (held.size() < 512 && (held.empty() || rng.bernoulli(0.6))) {
+      const auto order = static_cast<std::uint32_t>(rng.uniform(4));
+      const Pfn p = buddy.alloc_block(order);
+      if (p != kInvalidPfn) held.push_back({p, order});
+    } else {
+      const auto i = rng.uniform(held.size());
+      buddy.free_block(held[i].first, held[i].second);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  for (const auto& [p, o] : held) buddy.free_block(p, o);
+}
+BENCHMARK(BM_BuddyChurn);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_split_and_coalesce_trace();
+  std::cout << "\nallocator micro-throughput:\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

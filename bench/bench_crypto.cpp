@@ -1,0 +1,102 @@
+// Crypto micro-benchmarks (supporting data): byte-wise vs T-table AES-128
+// and PRESENT-80 throughput, plus the PFA analysis cost itself. Not a paper
+// table — included so the victim-service modelling choices are grounded.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes128.hpp"
+#include "crypto/aes128_ttable.hpp"
+#include "crypto/present80.hpp"
+#include "fault/pfa_aes.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace explframe;
+using namespace explframe::crypto;
+
+void BM_Aes128Bytewise(benchmark::State& state) {
+  Rng rng(1);
+  Aes128::Key key;
+  Aes128::Block pt;
+  rng.fill_bytes(key);
+  rng.fill_bytes(pt);
+  const auto rk = Aes128::expand_key(key);
+  for (auto _ : state) {
+    pt = Aes128::encrypt(pt, rk);
+    benchmark::DoNotOptimize(pt);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Aes128Bytewise);
+
+void BM_Aes128TTable(benchmark::State& state) {
+  Rng rng(2);
+  Aes128::Key key;
+  Aes128::Block pt;
+  rng.fill_bytes(key);
+  rng.fill_bytes(pt);
+  const auto rk = Aes128::expand_key(key);
+  for (auto _ : state) {
+    pt = Aes128T::encrypt(pt, rk);
+    benchmark::DoNotOptimize(pt);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Aes128TTable);
+
+void BM_Present80(benchmark::State& state) {
+  Rng rng(3);
+  Present80::Key key;
+  rng.fill_bytes(key);
+  const auto rk = Present80::expand_key(key);
+  std::uint64_t block = rng.next();
+  for (auto _ : state) {
+    block = Present80::encrypt(block, rk);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_Present80);
+
+void BM_AesKeyExpansion(benchmark::State& state) {
+  Rng rng(4);
+  Aes128::Key key;
+  rng.fill_bytes(key);
+  for (auto _ : state) {
+    auto rk = Aes128::expand_key(key);
+    benchmark::DoNotOptimize(rk);
+    key[0] ^= 1;
+  }
+}
+BENCHMARK(BM_AesKeyExpansion);
+
+void BM_PfaIngestCiphertext(benchmark::State& state) {
+  Rng rng(5);
+  fault::AesPfa pfa;
+  Aes128::Block c;
+  rng.fill_bytes(c);
+  for (auto _ : state) {
+    pfa.add_ciphertext(c);
+    c[0] = static_cast<std::uint8_t>(c[0] + 1);
+  }
+}
+BENCHMARK(BM_PfaIngestCiphertext);
+
+void BM_PfaCandidateExtraction(benchmark::State& state) {
+  Rng rng(6);
+  fault::AesPfa pfa;
+  for (int i = 0; i < 3000; ++i) {
+    Aes128::Block c;
+    rng.fill_bytes(c);
+    pfa.add_ciphertext(c);
+  }
+  for (auto _ : state) {
+    auto cand = pfa.candidates(fault::PfaStrategy::kMissingValue, 0x63, 0x62);
+    benchmark::DoNotOptimize(cand);
+  }
+}
+BENCHMARK(BM_PfaCandidateExtraction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

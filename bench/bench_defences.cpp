@@ -1,0 +1,103 @@
+// EXP-D1 — Countermeasure evaluation (extension).
+//
+// Runs the full ExplFrame pipeline against hardware mitigations:
+//   * none            — baseline vulnerable module;
+//   * TRR             — in-DRAM target row refresh (post-2014 parts);
+//   * SECDED ECC      — server memory, single-bit correction on read;
+//   * TRR + ECC       — both.
+// Also reports where in the pipeline each mitigation stops the attack and
+// the mitigation-side counters (interventions / corrections).
+#include <iostream>
+
+#include "attack/explframe.hpp"
+#include "common.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+using namespace explframe;
+using namespace explframe::bench;
+using namespace explframe::attack;
+
+namespace {
+
+constexpr std::uint32_t kTrials = 6;
+
+struct DefenceSpec {
+  const char* name;
+  bool trr;
+  bool ecc;
+};
+
+ExplFrameConfig attack_cfg(std::uint64_t seed) {
+  ExplFrameConfig cfg;
+  cfg.templating.buffer_bytes = 4 * kMiB;
+  cfg.templating.hammer_iterations = 100'000;
+  cfg.templating.max_rows = 192;  // the attacker's time budget
+  Rng rng(seed * 977 + 5);
+  rng.fill_bytes(cfg.victim.key);
+  cfg.ciphertext_budget = 8000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "EXP-D1: ExplFrame vs hardware mitigations");
+  std::cout << "(" << kTrials
+            << " machines per row; attacker gives up after 192 templated "
+               "rows)\n\n";
+
+  const DefenceSpec specs[] = {
+      {"none (baseline)", false, false},
+      {"TRR", true, false},
+      {"SECDED ECC", false, true},
+      {"TRR + ECC", true, true},
+  };
+
+  Table t({"defence", "P(usable template)", "P(key recovered)",
+           "failure stage (mode)", "mitigation counters (mean)"});
+  for (const DefenceSpec& spec : specs) {
+    std::size_t templated = 0, success = 0;
+    Samples trr_hits, ecc_corr;
+    std::string stage = "none";
+    for (std::uint32_t i = 0; i < kTrials; ++i) {
+      kernel::SystemConfig sys_cfg = vulnerable_system(300 + i);
+      sys_cfg.dram.trr.enabled = spec.trr;
+      sys_cfg.dram.trr.threshold = 12'000;
+      sys_cfg.dram.ecc.enabled = spec.ecc;
+      kernel::System sys(sys_cfg);
+      ExplFrameAttack attack(sys, attack_cfg(300 + i));
+      const auto r = attack.run();
+      templated += r.template_found;
+      success += r.success;
+      if (!r.success) stage = r.failure_stage();
+      trr_hits.add(static_cast<double>(sys.dram().trr_interventions()));
+      ecc_corr.add(static_cast<double>(sys.dram().ecc_corrected_bits()));
+    }
+    const auto pt = wilson_interval(templated, kTrials);
+    const auto ps = wilson_interval(success, kTrials);
+    std::string counters;
+    if (spec.trr)
+      counters += "TRR interventions " +
+                  std::to_string(static_cast<long>(trr_hits.mean()));
+    if (spec.ecc) {
+      if (!counters.empty()) counters += ", ";
+      counters += "ECC corrections " +
+                  std::to_string(static_cast<long>(ecc_corr.mean()));
+    }
+    if (counters.empty()) counters = "-";
+    t.row(spec.name, Table::percent(pt.p), Table::percent(ps.p),
+          success == kTrials ? "none" : stage, counters);
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nhow each mitigation breaks the chain:\n"
+         "  TRR refreshes the neighbours of hot rows before any weak cell\n"
+         "  crosses its threshold - templating finds nothing to plant.\n"
+         "  ECC corrects the single-bit flip on every read - the attacker's\n"
+         "  template scan sees clean data, and even a planted flip would be\n"
+         "  corrected when the victim loads its S-box.\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// EXP-T4 — End-to-end ExplFrame vs the spray baseline (the headline
+// experiment of the DATE'20 paper).
+//
+// ExplFrame: template -> plant (munmap) -> steer -> re-hammer -> harvest
+// ciphertexts -> PFA key recovery. Baseline: blind unprivileged hammering
+// with no frame steering. Reported per phase, with the victim-corruption
+// probability contrast and the AES-128 key recovery outcome.
+#include <iostream>
+
+#include "attack/explframe.hpp"
+#include "attack/spray.hpp"
+#include "common.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+using namespace explframe;
+using namespace explframe::bench;
+using namespace explframe::attack;
+
+namespace {
+
+constexpr std::uint32_t kTrials = 12;
+
+ExplFrameConfig attack_cfg(std::uint64_t seed) {
+  ExplFrameConfig cfg;
+  cfg.templating.buffer_bytes = 4 * kMiB;
+  cfg.templating.hammer_iterations = 100'000;
+  cfg.templating.both_polarities = true;
+  Rng rng(seed * 7919 + 3);
+  rng.fill_bytes(cfg.victim.key);
+  cfg.ciphertext_budget = 8000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void run_explframe() {
+  std::cout << "\nExplFrame end-to-end, " << kTrials
+            << " independent machines (64 MiB, vulnerable DDR3 module):\n";
+  std::size_t templated = 0, steered = 0, faulted = 0, recovered = 0,
+              success = 0;
+  Samples rows_scanned, cts_used, sim_seconds;
+  for (std::uint32_t i = 0; i < kTrials; ++i) {
+    kernel::System sys(vulnerable_system(100 + i));
+    ExplFrameAttack attack(sys, attack_cfg(100 + i));
+    const auto r = attack.run();
+    templated += r.template_found;
+    steered += r.steered;
+    faulted += r.fault_injected;
+    recovered += r.key_recovered;
+    success += r.success;
+    rows_scanned.add(static_cast<double>(r.rows_scanned));
+    if (r.success) cts_used.add(static_cast<double>(r.ciphertexts_used));
+    sim_seconds.add(static_cast<double>(r.total_time) / kSecond);
+  }
+  Table t({"phase", "success", "rate"});
+  const auto pct = [&](std::size_t n) {
+    const auto ci = wilson_interval(n, kTrials);
+    return Table::percent(ci.p) + "  [" + Table::percent(ci.lo) + ", " +
+           Table::percent(ci.hi) + "]";
+  };
+  t.row("1 template (usable flip found)", templated, pct(templated));
+  t.row("3 steer (victim got planted frame)", steered, pct(steered));
+  t.row("4 fault injected into S-box", faulted, pct(faulted));
+  t.row("6 AES-128 key recovered (PFA)", recovered, pct(recovered));
+  t.row("overall success", success, pct(success));
+  t.print(std::cout);
+  std::cout << "mean rows templated: " << rows_scanned.mean()
+            << "; mean ciphertexts to unique key: " << cts_used.mean()
+            << "; mean simulated attack time: " << sim_seconds.mean()
+            << " s\n";
+}
+
+void run_spray_baseline() {
+  std::cout << "\nSpray baseline (blind unprivileged Rowhammer, same hammer "
+               "budget, no steering), "
+            << kTrials << " machines:\n";
+  std::size_t corrupted = 0;
+  Samples flips;
+  for (std::uint32_t i = 0; i < kTrials; ++i) {
+    kernel::System sys(vulnerable_system(100 + i));
+    SprayConfig cfg;
+    cfg.buffer_bytes = 4 * kMiB;
+    cfg.hammer_iterations = 100'000;
+    cfg.pairs = 32;
+    Rng rng(100 + i);
+    rng.fill_bytes(cfg.victim.key);
+    cfg.seed = 100 + i;
+    SprayBaseline spray(sys, cfg);
+    const auto r = spray.run();
+    corrupted += r.victim_corrupted;
+    flips.add(static_cast<double>(r.flips_anywhere));
+  }
+  Table t({"metric", "value"});
+  const auto ci = wilson_interval(corrupted, kTrials);
+  t.row("P(victim S-box corrupted)",
+        Table::percent(ci.p) + "  [" + Table::percent(ci.lo) + ", " +
+            Table::percent(ci.hi) + "]");
+  t.row("mean flips induced anywhere", flips.mean());
+  t.print(std::cout);
+  std::cout << "\npaper claim: ExplFrame turns an untargeted fault primitive "
+               "into a targeted one — the baseline flips bits *somewhere* "
+               "but (almost) never in the victim's single page.\n";
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "EXP-T4: end-to-end ExplFrame vs spray baseline (SV+SVI)");
+  run_explframe();
+  run_spray_baseline();
+  return 0;
+}

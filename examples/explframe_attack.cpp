@@ -1,0 +1,88 @@
+// The complete ExplFrame attack, narrated phase by phase.
+//
+//   $ ./examples/explframe_attack [seed]
+//
+// Template -> plant -> steer -> re-hammer -> harvest -> PFA. The victim is
+// an AES-128 service whose S-box lives in its own pages; the attacker never
+// reads pagemap. Ground-truth lines (marked [truth]) come from the harness,
+// not the attacker's view.
+#include <cstdio>
+#include <cstdlib>
+
+#include "attack/explframe.hpp"
+#include "support/log.hpp"
+
+using namespace explframe;
+using namespace explframe::attack;
+
+namespace {
+void print_key(const char* label, const crypto::Aes128::Key& key) {
+  std::printf("%s", label);
+  for (const auto b : key) std::printf("%02x", b);
+  std::printf("\n");
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+  set_log_level(LogLevel::kInfo);
+
+  kernel::SystemConfig sys_cfg;
+  sys_cfg.memory_bytes = 64 * kMiB;
+  sys_cfg.num_cpus = 2;
+  sys_cfg.dram.weak_cells.cells_per_mib = 128.0;
+  sys_cfg.dram.weak_cells.threshold_log_mean = 10.4;
+  sys_cfg.dram.weak_cells.threshold_max = 60'000;
+  sys_cfg.dram.data_pattern_sensitivity = false;
+  sys_cfg.seed = seed;
+  kernel::System sys(sys_cfg);
+
+  ExplFrameConfig cfg;
+  cfg.templating.buffer_bytes = 4 * kMiB;
+  cfg.templating.hammer_iterations = 100'000;
+  Rng rng(seed * 31 + 7);
+  rng.fill_bytes(cfg.victim.key);
+  cfg.ciphertext_budget = 8000;
+  cfg.seed = seed;
+
+  std::printf("machine: %s, seed %llu\n",
+              sys.dram().geometry().describe().c_str(),
+              (unsigned long long)seed);
+  print_key("[truth] victim AES-128 key: ", cfg.victim.key);
+  std::printf("\nrunning ExplFrame...\n\n");
+
+  ExplFrameAttack attack(sys, cfg);
+  const auto r = attack.run();
+
+  std::printf("phase 1  TEMPLATE: %s (%llu rows scanned, %llu flips)\n",
+              r.template_found ? "usable flip found" : "FAILED",
+              (unsigned long long)r.rows_scanned,
+              (unsigned long long)r.flips_found);
+  if (r.template_found) {
+    std::printf("         flip @ page offset 0x%x bit %d -> corrupts "
+                "S[0x%02x] with mask 0x%02x\n",
+                r.chosen.offset, r.chosen.bit, r.sbox_index, r.fault_mask);
+  }
+  std::printf("phase 2  PLANT:    munmap'ed the vulnerable page "
+              "([truth] pfn %llu now at pcp head)\n",
+              (unsigned long long)r.planted_pfn);
+  std::printf("phase 3  STEER:    victim installed its crypto context "
+              "([truth] table page pfn %llu) -> %s\n",
+              (unsigned long long)r.victim_table_pfn,
+              r.steered ? "STEERED onto the planted frame" : "missed");
+  std::printf("phase 4  HAMMER:   re-hammered the stored aggressors -> "
+              "S-box %s%s\n",
+              r.fault_injected ? "corrupted" : "intact",
+              r.fault_as_predicted ? " (exactly the templated bit)" : "");
+  std::printf("phase 5+6 HARVEST+PFA: %s after %u ciphertexts\n",
+              r.key_recovered ? "unique key" : "no unique key",
+              r.ciphertexts_used);
+  if (r.key_recovered) print_key("         recovered key:     ", r.recovered_key);
+  std::printf("\nresult: %s (failure stage: %s), %.2f simulated seconds\n",
+              r.success ? "SUCCESS — full AES-128 key recovered"
+                        : "attack failed",
+              r.failure_stage().c_str(),
+              static_cast<double>(r.total_time) / kSecond);
+  return r.success ? 0 : 1;
+}

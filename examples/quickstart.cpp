@@ -1,0 +1,72 @@
+// Quickstart: the page-frame-cache property the whole attack rests on,
+// in ~40 lines of the public API.
+//
+//   $ ./examples/quickstart
+//
+// A process releases one page frame; the very next small allocation on the
+// same CPU receives the same frame (LIFO per-CPU page frame cache). On a
+// different CPU it does not.
+#include <cstdio>
+
+#include "kernel/system.hpp"
+
+using namespace explframe;
+
+int main() {
+  kernel::SystemConfig config;
+  config.memory_bytes = 64 * kMiB;
+  config.num_cpus = 2;
+  config.dram.weak_cells.cells_per_mib = 0.0;  // healthy DRAM for this demo
+  kernel::System sys(config);
+
+  kernel::Task& releaser = sys.spawn("releaser", /*cpu=*/0);
+  kernel::Task& same_cpu = sys.spawn("same-cpu", /*cpu=*/0);
+  kernel::Task& other_cpu = sys.spawn("other-cpu", /*cpu=*/1);
+
+  // Warm every process (fault in one page) so page-table allocations do not
+  // interleave with the demonstration below.
+  for (kernel::Task* t : {&releaser, &same_cpu, &other_cpu}) {
+    const vm::VirtAddr w = sys.sys_mmap(*t, kPageSize);
+    const std::uint8_t b = 1;
+    sys.mem_write(*t, w, {&b, 1});
+  }
+
+  // mmap alone allocates nothing: frames appear on first touch.
+  const vm::VirtAddr va = sys.sys_mmap(releaser, 4 * kPageSize);
+  std::printf("after mmap:  mapped pages = %llu (demand paging)\n",
+              (unsigned long long)releaser.space().page_table().mapped_pages());
+  for (int p = 0; p < 4; ++p) {
+    const std::uint8_t b = 0xAB;
+    sys.mem_write(releaser, va + p * kPageSize, {&b, 1});
+  }
+  std::printf("after touch: mapped pages = %llu\n",
+              (unsigned long long)releaser.space().page_table().mapped_pages());
+
+  const mm::Pfn released = sys.translate(releaser, va + kPageSize);
+  sys.sys_munmap(releaser, va + kPageSize, kPageSize);
+  std::printf("released frame pfn %llu into cpu 0's page frame cache\n",
+              (unsigned long long)released);
+
+  // Same CPU: the released frame comes right back.
+  const vm::VirtAddr vs = sys.sys_mmap(same_cpu, kPageSize);
+  const std::uint8_t b = 2;
+  sys.mem_write(same_cpu, vs, {&b, 1});
+  std::printf("same-cpu allocation got pfn %llu  -> %s\n",
+              (unsigned long long)sys.translate(same_cpu, vs),
+              sys.translate(same_cpu, vs) == released ? "SAME FRAME"
+                                                      : "different frame");
+
+  // Different CPU: separate cache, different frame.
+  const vm::VirtAddr vo = sys.sys_mmap(other_cpu, kPageSize);
+  sys.mem_write(other_cpu, vo, {&b, 1});
+  std::printf("other-cpu allocation got pfn %llu -> %s\n",
+              (unsigned long long)sys.translate(other_cpu, vo),
+              sys.translate(other_cpu, vo) == released ? "SAME FRAME"
+                                                       : "different frame");
+
+  // The unprivileged view: pagemap hides PFNs (Linux >= 4.0).
+  const auto entry = sys.sys_pagemap(same_cpu, vs, /*cap_sys_admin=*/false);
+  std::printf("unprivileged pagemap read: present=%d pfn=%llu (hidden)\n",
+              entry.present, (unsigned long long)entry.pfn);
+  return 0;
+}

@@ -1,0 +1,139 @@
+#include "attack/explframe.hpp"
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace explframe::attack {
+
+using crypto::Aes128;
+
+std::string ExplFrameReport::failure_stage() const {
+  if (success) return "none";
+  if (!template_found) return "templating";
+  if (!steered) return "steering";
+  if (!fault_injected) return "fault-injection";
+  if (!key_recovered) return "key-recovery";
+  return "key-mismatch";
+}
+
+ExplFrameReport ExplFrameAttack::run() {
+  ExplFrameReport report;
+  const SimTime start = system_->now();
+  Rng rng(config_.seed);
+
+  // ---------------------------------------------------------------- setup
+  kernel::Task& attacker = system_->spawn("attacker", config_.cpu);
+
+  // The victim service is already running (it is a long-lived daemon); it
+  // has not yet allocated the crypto context.
+  VictimAesService victim(*system_, config_.cpu, config_.victim);
+  victim.start();
+
+  // ------------------------------------------------------------ 1 TEMPLATE
+  Templater templater(*system_, attacker, config_.templating);
+  templater.allocate_buffer();
+
+  const std::uint32_t sbox_off = config_.victim.sbox_offset;
+  const auto& sbox = Aes128::sbox();
+  // Usable flip: lands in the S-box window, and the canonical S-box bit at
+  // that position is in the cell's charged state (so it will flip again
+  // when the victim's table occupies the frame).
+  const auto usable = [&](const FlipRecord& f) {
+    if (f.offset < sbox_off || f.offset >= sbox_off + 256) return false;
+    const std::uint8_t value = sbox[f.offset - sbox_off];
+    const bool bit_set = ((value >> f.bit) & 1u) != 0;
+    // to_one == true means an anti cell (flips 0->1): needs the bit clear.
+    return f.to_one ? !bit_set : bit_set;
+  };
+
+  const TemplateReport tmpl = templater.scan_until(usable);
+  report.rows_scanned = tmpl.rows_scanned;
+  report.flips_found = tmpl.flips.size();
+  for (const FlipRecord& f : tmpl.flips) {
+    if (usable(f)) {
+      report.template_found = true;
+      report.chosen = f;
+      break;
+    }
+  }
+  if (!report.template_found) {
+    report.total_time = system_->now() - start;
+    return report;
+  }
+  report.sbox_index =
+      static_cast<std::uint16_t>(report.chosen.offset - sbox_off);
+  report.fault_mask = static_cast<std::uint8_t>(1u << report.chosen.bit);
+  EXPLFRAME_LOG_INFO("template: flip at page offset 0x", std::hex,
+                     report.chosen.offset, std::dec, " bit ",
+                     int(report.chosen.bit), " -> S-box index ",
+                     report.sbox_index);
+
+  // -------------------------------------------------------------- 2 PLANT
+  report.planted_pfn = system_->translate(attacker, report.chosen.page_va);
+  EXPLFRAME_CHECK(report.planted_pfn != mm::kInvalidPfn);
+  system_->sys_munmap(attacker, report.chosen.page_va, kPageSize);
+
+  // Optional contention window between plant and victim allocation.
+  if (config_.noise_ops > 0) {
+    kernel::Task& noisy = system_->spawn("noise", config_.noise_cpu);
+    kernel::NoiseWorkload noise(*system_, noisy, {}, rng.next());
+    if (config_.attacker_sleeps) attacker.set_state(kernel::TaskState::kSleeping);
+    noise.run(config_.noise_ops);
+    if (config_.attacker_sleeps) attacker.set_state(kernel::TaskState::kRunnable);
+  }
+
+  // -------------------------------------------------------------- 3 STEER
+  victim.install_tables();
+  report.victim_table_pfn =
+      system_->translate(victim.task(), victim.table_page_va());
+  report.steered = report.victim_table_pfn == report.planted_pfn;
+
+  // ------------------------------------------------------------- 4 HAMMER
+  templater.hammer_aggressors(report.chosen);
+  report.fault_injected = victim.table_corrupted();
+  if (report.fault_injected) {
+    const auto table = victim.read_table();
+    const std::uint8_t expected = static_cast<std::uint8_t>(
+        sbox[report.sbox_index] ^ report.fault_mask);
+    std::uint32_t diffs = 0;
+    for (std::size_t i = 0; i < 256; ++i)
+      if (table[i] != sbox[i]) ++diffs;
+    report.fault_as_predicted =
+        diffs == 1 && table[report.sbox_index] == expected;
+  }
+  if (!report.steered || !report.fault_injected) {
+    report.total_time = system_->now() - start;
+    return report;
+  }
+
+  // ---------------------------------------------------- 5 + 6 HARVEST/PFA
+  // v = the vanished S-box output; v' = its replacement. ExplFrame knows
+  // both from the template (index + bit), without seeing the victim.
+  const std::uint8_t v = sbox[report.sbox_index];
+  const std::uint8_t v_new = static_cast<std::uint8_t>(v ^ report.fault_mask);
+
+  fault::AesPfa pfa;
+  for (std::uint32_t i = 0; i < config_.ciphertext_budget; ++i) {
+    Aes128::Block pt;
+    rng.fill_bytes({pt.data(), pt.size()});
+    pfa.add_ciphertext(victim.encrypt(pt));
+    // Periodically test whether the key is already pinned down.
+    if ((i + 1) % 256 == 0 || i + 1 == config_.ciphertext_budget) {
+      if (const auto key = pfa.recover_master_key(config_.strategy, v, v_new)) {
+        report.key_recovered = true;
+        report.recovered_key = *key;
+        report.ciphertexts_used = i + 1;
+        break;
+      }
+    }
+  }
+  if (!report.key_recovered)
+    report.ciphertexts_used = config_.ciphertext_budget;
+
+  report.success =
+      report.key_recovered && report.recovered_key == config_.victim.key;
+  report.total_time = system_->now() - start;
+  return report;
+}
+
+}  // namespace explframe::attack

@@ -1,0 +1,95 @@
+// The end-to-end ExplFrame attack (§V + §VI of the paper):
+//
+//   1. TEMPLATE  — hammer the attacker's own buffer until a page with a
+//                  usable flip is found (usable = the flip's page offset
+//                  falls inside the victim's S-box window and its polarity
+//                  matches the canonical S-box bit at that position).
+//   2. PLANT     — munmap that single page; its frame lands at the hot head
+//                  of the current CPU's page frame cache. Stay active.
+//   3. STEER     — the victim (same CPU) installs its crypto context; its
+//                  first-touched page receives the planted frame.
+//   4. HAMMER    — re-hammer the SAME aggressor virtual addresses (still
+//                  mapped); the same weak cell flips again, now corrupting
+//                  the victim's S-box.
+//   5. HARVEST   — collect ciphertexts of the victim encrypting unknown
+//                  plaintexts.
+//   6. ANALYSE   — Persistent Fault Analysis recovers K10, then the master
+//                  key via the inverse key schedule.
+//
+// The attacker never reads /proc/<pid>/pagemap; PFNs appear only in the
+// report's ground-truth section, filled in by the harness.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "attack/templating.hpp"
+#include "attack/victim.hpp"
+#include "fault/pfa_aes.hpp"
+#include "kernel/noise.hpp"
+
+namespace explframe::attack {
+
+struct ExplFrameConfig {
+  TemplateConfig templating;
+  VictimConfig victim;
+  std::uint32_t cpu = 0;  ///< CPU shared by attacker and victim.
+  /// Ciphertexts harvested before running PFA.
+  std::uint32_t ciphertext_budget = 6000;
+  fault::PfaStrategy strategy = fault::PfaStrategy::kMissingValue;
+  /// Background noise operations between plant and victim allocation
+  /// (models other activity racing for the planted frame). CPU of the
+  /// noise task and whether it shares the attack CPU are configurable.
+  std::uint32_t noise_ops = 0;
+  std::uint32_t noise_cpu = 0;
+  /// If true, the attacker sleeps (yields the CPU to the noise task)
+  /// between plant and victim allocation — the failure mode the paper
+  /// warns about. If false the attacker stays active (paper's attack).
+  bool attacker_sleeps = false;
+  std::uint64_t seed = 42;
+};
+
+/// Every phase outcome, for the experiment tables.
+struct ExplFrameReport {
+  // Phase 1: templating.
+  bool template_found = false;
+  std::uint64_t rows_scanned = 0;
+  std::uint64_t flips_found = 0;
+  FlipRecord chosen;             ///< The flip used for the attack.
+  std::uint16_t sbox_index = 0;  ///< Table entry the flip corrupts.
+  std::uint8_t fault_mask = 0;
+
+  // Phase 3: steering (ground truth).
+  bool steered = false;  ///< Victim's table page received the planted frame.
+  mm::Pfn planted_pfn = mm::kInvalidPfn;
+  mm::Pfn victim_table_pfn = mm::kInvalidPfn;
+
+  // Phase 4: fault injection (ground truth).
+  bool fault_injected = false;   ///< Victim table corrupted after re-hammer.
+  bool fault_as_predicted = false;  ///< Exactly the templated bit flipped.
+
+  // Phase 5/6: analysis.
+  std::uint32_t ciphertexts_used = 0;
+  bool key_recovered = false;
+  crypto::Aes128::Key recovered_key{};
+
+  bool success = false;  ///< key_recovered && matches victim key.
+  SimTime total_time = 0;
+
+  std::string failure_stage() const;
+};
+
+class ExplFrameAttack {
+ public:
+  ExplFrameAttack(kernel::System& system, const ExplFrameConfig& config)
+      : system_(&system), config_(config) {}
+
+  ExplFrameReport run();
+
+ private:
+  kernel::System* system_;
+  ExplFrameConfig config_;
+};
+
+}  // namespace explframe::attack

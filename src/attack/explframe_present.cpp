@@ -1,0 +1,180 @@
+#include "attack/explframe_present.hpp"
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace explframe::attack {
+
+using crypto::Present80;
+
+VictimPresentService::VictimPresentService(kernel::System& system,
+                                           std::uint32_t cpu,
+                                           const Config& config)
+    : system_(&system), cpu_(cpu), config_(config) {
+  EXPLFRAME_CHECK(config.sbox_offset + 16 <= kPageSize);
+  EXPLFRAME_CHECK(config.data_pages >= 2);
+}
+
+void VictimPresentService::start() {
+  task_ = &system_->spawn("present-victim", cpu_);
+  if (config_.warm_up) {
+    const vm::VirtAddr warm = system_->sys_mmap(*task_, kPageSize);
+    const std::uint8_t b = 0x5A;
+    system_->mem_write(*task_, warm, {&b, 1});
+  }
+}
+
+void VictimPresentService::install_tables() {
+  EXPLFRAME_CHECK_MSG(task_ != nullptr, "start() first");
+  const vm::VirtAddr region = system_->sys_mmap(
+      *task_, static_cast<std::uint64_t>(config_.data_pages) * kPageSize);
+  table_va_ = region;
+  keys_va_ = region + kPageSize;
+
+  const auto& sbox = Present80::sbox();
+  EXPLFRAME_CHECK(system_->mem_write(*task_, table_va_ + config_.sbox_offset,
+                                     {sbox.data(), sbox.size()}));
+  const auto rk = Present80::expand_key(config_.key);
+  std::array<std::uint8_t, 32 * 8> rk_bytes{};
+  for (std::size_t r = 0; r < 32; ++r)
+    for (std::size_t b = 0; b < 8; ++b)
+      rk_bytes[8 * r + b] = static_cast<std::uint8_t>(rk[r] >> (8 * b));
+  EXPLFRAME_CHECK(
+      system_->mem_write(*task_, keys_va_, {rk_bytes.data(), rk_bytes.size()}));
+  for (std::uint32_t p = 2; p < config_.data_pages; ++p) {
+    const std::uint8_t zero = 0;
+    system_->mem_write(*task_, region + p * kPageSize, {&zero, 1});
+  }
+}
+
+std::array<std::uint8_t, 16> VictimPresentService::read_table() {
+  std::array<std::uint8_t, 16> table{};
+  EXPLFRAME_CHECK(system_->mem_read(*task_, table_va_ + config_.sbox_offset,
+                                    {table.data(), table.size()}));
+  return table;
+}
+
+bool VictimPresentService::table_corrupted() {
+  const auto table = read_table();
+  const auto& sbox = Present80::sbox();
+  for (std::size_t i = 0; i < 16; ++i)
+    if ((table[i] & 0xF) != sbox[i]) return true;
+  return false;
+}
+
+std::uint64_t VictimPresentService::encrypt(std::uint64_t plaintext) {
+  EXPLFRAME_CHECK_MSG(table_va_ != 0, "install_tables() first");
+  const auto table = read_table();
+  std::array<std::uint8_t, 32 * 8> rk_bytes{};
+  EXPLFRAME_CHECK(
+      system_->mem_read(*task_, keys_va_, {rk_bytes.data(), rk_bytes.size()}));
+  Present80::RoundKeys rk{};
+  for (std::size_t r = 0; r < 32; ++r)
+    for (std::size_t b = 0; b < 8; ++b)
+      rk[r] |= static_cast<std::uint64_t>(rk_bytes[8 * r + b]) << (8 * b);
+  return Present80::encrypt_with_sbox(
+      plaintext, rk, std::span<const std::uint8_t, 16>(table));
+}
+
+std::string ExplFramePresentReport::failure_stage() const {
+  if (success) return "none";
+  if (!template_found) return "templating";
+  if (!steered) return "steering";
+  if (!fault_injected) return "fault-injection";
+  if (!key_recovered) return "key-recovery";
+  return "key-mismatch";
+}
+
+ExplFramePresentReport ExplFramePresentAttack::run() {
+  ExplFramePresentReport report;
+  const SimTime start = system_->now();
+  Rng rng(config_.seed);
+
+  kernel::Task& attacker = system_->spawn("attacker", config_.cpu);
+  VictimPresentService victim(*system_, config_.cpu, config_.victim);
+  victim.start();
+
+  Templater templater(*system_, attacker, config_.templating);
+  templater.allocate_buffer();
+
+  const std::uint32_t off = config_.victim.sbox_offset;
+  const auto& sbox = Present80::sbox();
+  // Usable: inside the 16-byte window, low-nibble bit, polarity compatible
+  // with the canonical stored byte (high nibble stored as 0).
+  const auto usable = [&](const FlipRecord& f) {
+    if (f.offset < off || f.offset >= off + 16) return false;
+    if (f.bit >= 4) return false;  // masked out by the implementation
+    const std::uint8_t value = sbox[f.offset - off];
+    const bool bit_set = ((value >> f.bit) & 1u) != 0;
+    return f.to_one ? !bit_set : bit_set;
+  };
+
+  const TemplateReport tmpl = templater.scan_until(usable);
+  report.rows_scanned = tmpl.rows_scanned;
+  report.flips_found = tmpl.flips.size();
+  for (const FlipRecord& f : tmpl.flips) {
+    if (usable(f)) {
+      report.template_found = true;
+      report.chosen = f;
+      break;
+    }
+  }
+  if (!report.template_found) {
+    report.total_time = system_->now() - start;
+    return report;
+  }
+  report.sbox_index = static_cast<std::uint8_t>(report.chosen.offset - off);
+  report.fault_mask = static_cast<std::uint8_t>(1u << report.chosen.bit);
+
+  report.planted_pfn = system_->translate(attacker, report.chosen.page_va);
+  system_->sys_munmap(attacker, report.chosen.page_va, kPageSize);
+
+  victim.install_tables();
+  report.victim_table_pfn =
+      system_->translate(victim.task(), victim.table_page_va());
+  report.steered = report.victim_table_pfn == report.planted_pfn;
+
+  templater.hammer_aggressors(report.chosen);
+  report.fault_injected = victim.table_corrupted();
+  if (!report.steered || !report.fault_injected) {
+    report.total_time = system_->now() - start;
+    return report;
+  }
+
+  const std::uint8_t v = sbox[report.sbox_index];
+  fault::PresentPfa pfa;
+  // One known plaintext/ciphertext pair for the residual search — the
+  // attacker can see (or choose) one plaintext in the PFA model's usual
+  // known-plaintext variant.
+  const std::uint64_t known_pt = rng.next();
+  const std::uint64_t known_ct = victim.encrypt(known_pt);
+  auto faulty_table = victim.read_table();
+  for (auto& b : faulty_table) b &= 0xF;
+
+  for (std::uint32_t i = 0; i < config_.ciphertext_budget; ++i) {
+    pfa.add_ciphertext(victim.encrypt(rng.next()));
+    if ((i + 1) % 25 == 0 || i + 1 == config_.ciphertext_budget) {
+      if (!pfa.recover_k32(v)) continue;
+      const auto result = pfa.recover_master_key(
+          v, known_pt, known_ct,
+          std::span<const std::uint8_t, 16>(faulty_table));
+      if (result) {
+        report.key_recovered = true;
+        report.recovered_key = result->key;
+        report.residual_search = result->search_tried;
+        report.ciphertexts_used = i + 1;
+        break;
+      }
+    }
+  }
+  if (!report.key_recovered)
+    report.ciphertexts_used = config_.ciphertext_budget;
+
+  report.success =
+      report.key_recovered && report.recovered_key == config_.victim.key;
+  report.total_time = system_->now() - start;
+  return report;
+}
+
+}  // namespace explframe::attack

@@ -1,0 +1,99 @@
+// ExplFrame against a PRESENT-80 service — the "block cipherS" half of the
+// paper's title. Same pipeline as the AES attack; the differences that
+// matter are quantitative and are measured in EXP-T7:
+//   * the target window is 16 table bytes (vs 256) and only the low nibble
+//     of each is live, so templating needs a ~10x longer scan;
+//   * PFA saturates after ~100 ciphertexts (16-value alphabet) plus a
+//     <= 2^16 residual key-schedule search.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "attack/templating.hpp"
+#include "crypto/present80.hpp"
+#include "fault/pfa_present.hpp"
+#include "kernel/system.hpp"
+
+namespace explframe::attack {
+
+/// A long-running PRESENT-80 encryption service; its 16-byte S-box table
+/// (one nibble per byte) and round keys live in its own pages.
+class VictimPresentService {
+ public:
+  struct Config {
+    crypto::Present80::Key key{};
+    std::uint32_t sbox_offset = 0x400;
+    std::uint32_t data_pages = 4;
+    bool warm_up = true;
+  };
+
+  VictimPresentService(kernel::System& system, std::uint32_t cpu,
+                       const Config& config);
+
+  void start();
+  void install_tables();
+  std::uint64_t encrypt(std::uint64_t plaintext);
+
+  kernel::Task& task() noexcept { return *task_; }
+  vm::VirtAddr table_page_va() const noexcept { return table_va_; }
+  const Config& config() const noexcept { return config_; }
+  std::array<std::uint8_t, 16> read_table();
+  bool table_corrupted();
+
+ private:
+  kernel::System* system_;
+  std::uint32_t cpu_;
+  Config config_;
+  kernel::Task* task_ = nullptr;
+  vm::VirtAddr table_va_ = 0;
+  vm::VirtAddr keys_va_ = 0;
+};
+
+struct ExplFramePresentConfig {
+  TemplateConfig templating;
+  VictimPresentService::Config victim;
+  std::uint32_t cpu = 0;
+  std::uint32_t ciphertext_budget = 2000;
+  std::uint64_t seed = 42;
+};
+
+struct ExplFramePresentReport {
+  bool template_found = false;
+  std::uint64_t rows_scanned = 0;
+  std::uint64_t flips_found = 0;
+  FlipRecord chosen;
+  std::uint8_t sbox_index = 0;  ///< 0..15
+  std::uint8_t fault_mask = 0;  ///< Low-nibble bit.
+
+  bool steered = false;
+  mm::Pfn planted_pfn = mm::kInvalidPfn;
+  mm::Pfn victim_table_pfn = mm::kInvalidPfn;
+  bool fault_injected = false;
+
+  std::uint32_t ciphertexts_used = 0;
+  std::uint32_t residual_search = 0;  ///< Candidates tried in the 2^16 step.
+  bool key_recovered = false;
+  crypto::Present80::Key recovered_key{};
+
+  bool success = false;
+  SimTime total_time = 0;
+
+  std::string failure_stage() const;
+};
+
+class ExplFramePresentAttack {
+ public:
+  ExplFramePresentAttack(kernel::System& system,
+                         const ExplFramePresentConfig& config)
+      : system_(&system), config_(config) {}
+
+  ExplFramePresentReport run();
+
+ private:
+  kernel::System* system_;
+  ExplFramePresentConfig config_;
+};
+
+}  // namespace explframe::attack

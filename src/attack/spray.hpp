@@ -1,0 +1,46 @@
+// Baseline: naive unprivileged Rowhammer ("spray"). The attacker hammers
+// aggressor rows inside her own buffer but has no way to steer the victim
+// onto a vulnerable frame (§VI: "the bit flips, if any, will be uncontrolled
+// and does not guarantee any meaningful exploitation"). The victim's table
+// page ends up wherever the allocator happens to place it, and is corrupted
+// only if that frame sits in a row adjacent to the attacker's aggressors
+// AND contains a suitably weak cell.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/victim.hpp"
+#include "kernel/system.hpp"
+#include "support/rng.hpp"
+
+namespace explframe::attack {
+
+struct SprayConfig {
+  std::uint64_t buffer_bytes = 16 * kMiB;
+  std::uint64_t hammer_iterations = 500'000;
+  /// Aggressor row pairs hammered per trial.
+  std::uint32_t pairs = 32;
+  VictimConfig victim;
+  std::uint32_t cpu = 0;
+  std::uint64_t seed = 7;
+};
+
+struct SprayReport {
+  bool victim_corrupted = false;  ///< Any bit of the victim's table flipped.
+  std::uint64_t flips_anywhere = 0;  ///< Flips induced anywhere in DRAM.
+  SimTime total_time = 0;
+};
+
+class SprayBaseline {
+ public:
+  SprayBaseline(kernel::System& system, const SprayConfig& config)
+      : system_(&system), config_(config) {}
+
+  SprayReport run();
+
+ private:
+  kernel::System* system_;
+  SprayConfig config_;
+};
+
+}  // namespace explframe::attack

@@ -1,0 +1,269 @@
+#include "attack/templating.hpp"
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace explframe::attack {
+
+std::uint64_t discover_row_stride(kernel::System& system, kernel::Task& task,
+                                  vm::VirtAddr base, std::uint64_t limit) {
+  const auto& t = system.dram().params().timings;
+  const double threshold =
+      0.5 * static_cast<double>(t.row_hit_ns + t.row_conflict_ns);
+  const std::uint64_t row_bytes = system.dram().geometry().row_bytes;
+
+  const auto conflicts = [&](vm::VirtAddr a, vm::VirtAddr b) {
+    SimTime total = 0;
+    constexpr std::uint32_t kProbes = 8;
+    for (std::uint32_t i = 0; i < kProbes; ++i) {
+      total += system.uncached_access(task, a);
+      total += system.uncached_access(task, b);
+    }
+    return static_cast<double>(total) / (2.0 * kProbes) > threshold;
+  };
+
+  // Probe at several bases and take a majority vote: the first pages of a
+  // fresh buffer are often physical-contiguity outliers (their frames were
+  // interleaved with the kernel's own page-table allocations).
+  for (std::uint64_t stride = row_bytes; 4 * stride <= limit; stride *= 2) {
+    int votes = 0;
+    for (std::uint64_t frac = 4; frac <= 8; frac += 2) {
+      const vm::VirtAddr probe_base =
+          base + (limit / frac / row_bytes) * row_bytes;
+      if (conflicts(probe_base, probe_base + stride)) ++votes;
+    }
+    if (votes >= 2) return stride;
+  }
+  return 0;
+}
+
+Templater::Templater(kernel::System& system, kernel::Task& attacker,
+                     const TemplateConfig& config)
+    : system_(&system),
+      attacker_(&attacker),
+      config_(config),
+      row_bytes_(system.dram().geometry().row_bytes) {
+  EXPLFRAME_CHECK(config.buffer_bytes >= 4 * row_bytes_);
+}
+
+void Templater::allocate_buffer() {
+  buffer_va_ = system_->sys_mmap(*attacker_, config_.buffer_bytes);
+  buffer_pages_ = config_.buffer_bytes / kPageSize;
+  // Fault every page in, in ascending order: on a fresh buddy allocator
+  // this yields a mostly physically-contiguous buffer.
+  for (std::uint64_t p = 0; p < buffer_pages_; ++p) {
+    const std::uint8_t b = 0xFF;
+    EXPLFRAME_CHECK(
+        system_->mem_write(*attacker_, buffer_va_ + p * kPageSize, {&b, 1}));
+  }
+  row_stride_ = discover_row_stride(*system_, *attacker_, buffer_va_,
+                                    config_.buffer_bytes);
+  // Under XOR bank hashing no single stride conflicts; the contiguous
+  // strategy cannot work then, but random-pair templating still can.
+  EXPLFRAME_CHECK_MSG(
+      row_stride_ != 0 ||
+          config_.strategy == TemplateStrategy::kRandomPairs,
+      "could not discover the bank stride by timing");
+}
+
+void Templater::probe_row(vm::VirtAddr target_row_va, std::uint8_t pattern,
+                          TemplateReport& report) {
+  const vm::VirtAddr agg_lo = target_row_va - row_stride_;
+  const vm::VirtAddr agg_hi = target_row_va + row_stride_;
+
+  // Fill target row with `pattern`, aggressor rows with its complement
+  // (stripe patterns maximise coupling).
+  std::vector<std::uint8_t> victim_fill(row_bytes_, pattern);
+  std::vector<std::uint8_t> agg_fill(row_bytes_,
+                                     static_cast<std::uint8_t>(~pattern));
+  system_->mem_write(*attacker_, target_row_va,
+                     {victim_fill.data(), victim_fill.size()});
+  system_->mem_write(*attacker_, agg_lo, {agg_fill.data(), agg_fill.size()});
+  system_->mem_write(*attacker_, agg_hi, {agg_fill.data(), agg_fill.size()});
+
+  // Hammer.
+  for (std::uint64_t i = 0; i < config_.hammer_iterations; ++i) {
+    system_->uncached_access(*attacker_, agg_lo);
+    system_->uncached_access(*attacker_, agg_hi);
+  }
+
+  // Scan the target row for bits that changed.
+  std::vector<std::uint8_t> readback(row_bytes_);
+  system_->mem_read(*attacker_, target_row_va,
+                    {readback.data(), readback.size()});
+  for (std::uint32_t off = 0; off < row_bytes_; ++off) {
+    const std::uint8_t delta =
+        static_cast<std::uint8_t>(readback[off] ^ pattern);
+    if (delta == 0) continue;
+    for (std::uint8_t bit = 0; bit < 8; ++bit) {
+      if (((delta >> bit) & 1u) == 0) continue;
+      FlipRecord rec;
+      rec.page_va = target_row_va + (off / kPageSize) * kPageSize;
+      rec.offset = off % kPageSize;
+      rec.bit = bit;
+      rec.to_one = ((readback[off] >> bit) & 1u) != 0;
+      rec.aggressor_lo = agg_lo;
+      rec.aggressor_hi = agg_hi;
+      report.flips.push_back(rec);
+    }
+  }
+}
+
+TemplateReport Templater::scan() { return scan_until(nullptr); }
+
+TemplateReport Templater::scan_until(
+    const std::function<bool(const FlipRecord&)>& good) {
+  EXPLFRAME_CHECK_MSG(buffer_va_ != 0, "allocate_buffer() first");
+  return config_.strategy == TemplateStrategy::kRandomPairs
+             ? scan_random_pairs(good)
+             : scan_contiguous(good);
+}
+
+TemplateReport Templater::scan_random_pairs(
+    const std::function<bool(const FlipRecord&)>& good) {
+  TemplateReport report;
+  const SimTime start = system_->now();
+  Rng rng(config_.seed ^ 0xfeedULL);
+  const std::uint64_t rows = config_.buffer_bytes / row_bytes_;
+  const std::uint64_t budget = config_.max_rows != 0 ? config_.max_rows : rows;
+
+  const auto& t = system_->dram().params().timings;
+  const double threshold =
+      0.5 * static_cast<double>(t.row_hit_ns + t.row_conflict_ns);
+
+  // Work one polarity at a time over the whole buffer: fill, hammer random
+  // same-bank pairs, rescan after every session.
+  std::vector<std::uint8_t> pattern_buf;
+  std::vector<std::uint8_t> readback(config_.buffer_bytes);
+  std::vector<vm::VirtAddr> flip_pages;
+  const int passes = config_.both_polarities ? 2 : 1;
+  bool done = false;
+  for (int pass = 0; pass < passes && !done; ++pass) {
+    const std::uint8_t pattern = pass == 0 ? 0xFF : 0x00;
+    pattern_buf.assign(config_.buffer_bytes, pattern);
+    system_->mem_write(*attacker_, buffer_va_,
+                       {pattern_buf.data(), pattern_buf.size()});
+    for (std::uint64_t session = 0; session < budget && !done; ++session) {
+      // Find a timing-verified same-bank pair of distinct rows.
+      vm::VirtAddr a = 0, b = 0;
+      bool have_pair = false;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        a = buffer_va_ + rng.uniform(rows) * row_bytes_;
+        b = buffer_va_ + rng.uniform(rows) * row_bytes_;
+        if (a == b) continue;
+        SimTime total = 0;
+        for (std::uint32_t p = 0; p < 8; ++p) {
+          total += system_->uncached_access(*attacker_, a);
+          total += system_->uncached_access(*attacker_, b);
+        }
+        if (static_cast<double>(total) / 16.0 > threshold) {
+          have_pair = true;
+          break;
+        }
+      }
+      if (!have_pair) continue;
+      ++report.rows_scanned;  // counts hammer sessions in this mode
+
+      for (std::uint64_t i = 0; i < config_.hammer_iterations; ++i) {
+        system_->uncached_access(*attacker_, a);
+        system_->uncached_access(*attacker_, b);
+      }
+
+      // Full-buffer rescan: any byte differing from the pattern (outside
+      // the aggressor rows themselves, which the probe loop dirtied the
+      // row buffers of, not the data) is a new flip.
+      system_->mem_read(*attacker_, buffer_va_,
+                        {readback.data(), readback.size()});
+      for (std::uint64_t off = 0; off < readback.size(); ++off) {
+        const std::uint8_t delta =
+            static_cast<std::uint8_t>(readback[off] ^ pattern);
+        if (delta == 0) continue;
+        for (std::uint8_t bit = 0; bit < 8; ++bit) {
+          if (((delta >> bit) & 1u) == 0) continue;
+          FlipRecord rec;
+          rec.page_va = buffer_va_ + (off / kPageSize) * kPageSize;
+          rec.offset = static_cast<std::uint32_t>(off % kPageSize);
+          rec.bit = bit;
+          rec.to_one = ((readback[off] >> bit) & 1u) != 0;
+          rec.aggressor_lo = std::min(a, b);
+          rec.aggressor_hi = std::max(a, b);
+          report.flips.push_back(rec);
+          bool known = false;
+          for (const vm::VirtAddr pv : flip_pages) known |= pv == rec.page_va;
+          if (!known) flip_pages.push_back(rec.page_va);
+          if (good && good(rec)) done = true;
+        }
+        // Restore the pattern so the flip is not double-counted.
+        std::uint8_t fix = pattern;
+        system_->mem_write(*attacker_, buffer_va_ + off, {&fix, 1});
+      }
+      if (config_.stop_after != 0 && flip_pages.size() >= config_.stop_after)
+        done = true;
+    }
+  }
+  report.pages_with_flips = flip_pages.size();
+  report.elapsed = system_->now() - start;
+  return report;
+}
+
+TemplateReport Templater::scan_contiguous(
+    const std::function<bool(const FlipRecord&)>& good) {
+  TemplateReport report;
+  const SimTime start = system_->now();
+  // Every row_bytes-sized block of the buffer is one DRAM row of some bank;
+  // its same-bank neighbours sit row_stride away on either side.
+  const vm::VirtAddr first = buffer_va_ + row_stride_;
+  const vm::VirtAddr last = buffer_va_ + config_.buffer_bytes - row_stride_;
+
+  std::vector<vm::VirtAddr> flip_pages;
+  for (vm::VirtAddr target = first; target + row_bytes_ <= last;
+       target += row_bytes_) {
+    if (config_.max_rows != 0 && report.rows_scanned >= config_.max_rows)
+      break;
+    ++report.rows_scanned;
+    // Bank sanity check through the timing channel: if the two aggressor
+    // rows do not conflict, the VA->PA contiguity assumption broke here.
+    SimTime total = 0;
+    for (std::uint32_t p = 0; p < config_.timing_probes; ++p) {
+      total += system_->uncached_access(*attacker_, target - row_stride_);
+      total += system_->uncached_access(*attacker_, target + row_stride_);
+    }
+    const auto& t = system_->dram().params().timings;
+    const double avg = static_cast<double>(total) /
+                       (2.0 * config_.timing_probes);
+    if (avg < 0.5 * static_cast<double>(t.row_hit_ns + t.row_conflict_ns)) {
+      ++report.rows_skipped_timing;
+      continue;
+    }
+
+    const std::size_t before = report.flips.size();
+    probe_row(target, 0xFF, report);
+    if (config_.both_polarities) probe_row(target, 0x00, report);
+    bool found_good = false;
+    for (std::size_t i = before; i < report.flips.size(); ++i) {
+      const vm::VirtAddr pv = report.flips[i].page_va;
+      bool known = false;
+      for (const vm::VirtAddr existing : flip_pages) known |= existing == pv;
+      if (!known) flip_pages.push_back(pv);
+      if (good && good(report.flips[i])) found_good = true;
+    }
+    if (found_good) break;
+    if (config_.stop_after != 0 && flip_pages.size() >= config_.stop_after)
+      break;
+  }
+  report.pages_with_flips = flip_pages.size();
+  report.elapsed = system_->now() - start;
+  return report;
+}
+
+SimTime Templater::hammer_aggressors(const FlipRecord& flip) const {
+  const SimTime start = system_->now();
+  for (std::uint64_t i = 0; i < config_.hammer_iterations; ++i) {
+    system_->uncached_access(*attacker_, flip.aggressor_lo);
+    system_->uncached_access(*attacker_, flip.aggressor_hi);
+  }
+  return system_->now() - start;
+}
+
+}  // namespace explframe::attack

@@ -1,0 +1,76 @@
+#include "attack/victim.hpp"
+
+#include "support/check.hpp"
+
+namespace explframe::attack {
+
+using crypto::Aes128;
+
+VictimAesService::VictimAesService(kernel::System& system, std::uint32_t cpu,
+                                   const VictimConfig& config)
+    : system_(&system), cpu_(cpu), config_(config) {
+  EXPLFRAME_CHECK(config.sbox_offset + 256 <= kPageSize);
+  EXPLFRAME_CHECK(config.data_pages >= 2);
+}
+
+void VictimAesService::start() {
+  task_ = &system_->spawn("victim", cpu_);
+  if (config_.warm_up) {
+    const vm::VirtAddr warm = system_->sys_mmap(*task_, kPageSize);
+    const std::uint8_t b = 0xA5;
+    system_->mem_write(*task_, warm, {&b, 1});
+  }
+}
+
+void VictimAesService::install_tables() {
+  EXPLFRAME_CHECK_MSG(task_ != nullptr, "start() first");
+  region_va_ = system_->sys_mmap(
+      *task_, static_cast<std::uint64_t>(config_.data_pages) * kPageSize);
+  // Page 0: crypto context header + S-box (touched first, so it receives
+  // the head of the CPU's page frame cache). Page 1: expanded round keys.
+  table_va_ = region_va_;
+  keys_va_ = region_va_ + kPageSize;
+
+  const auto& sbox = Aes128::sbox();
+  EXPLFRAME_CHECK(system_->mem_write(*task_, table_va_ + config_.sbox_offset,
+                                     {sbox.data(), sbox.size()}));
+  const auto rk = Aes128::expand_key(config_.key);
+  std::array<std::uint8_t, 11 * 16> rk_bytes{};
+  for (std::size_t r = 0; r < 11; ++r)
+    for (std::size_t i = 0; i < 16; ++i) rk_bytes[16 * r + i] = rk[r][i];
+  EXPLFRAME_CHECK(
+      system_->mem_write(*task_, keys_va_, {rk_bytes.data(), rk_bytes.size()}));
+  // Touch the remaining context pages (buffers, bignum scratch, ...).
+  for (std::uint32_t p = 2; p < config_.data_pages; ++p) {
+    const std::uint8_t zero = 0;
+    system_->mem_write(*task_, region_va_ + p * kPageSize, {&zero, 1});
+  }
+}
+
+std::array<std::uint8_t, 256> VictimAesService::read_table() {
+  std::array<std::uint8_t, 256> table{};
+  EXPLFRAME_CHECK(system_->mem_read(*task_, table_va_ + config_.sbox_offset,
+                                    {table.data(), table.size()}));
+  return table;
+}
+
+bool VictimAesService::table_corrupted() {
+  return read_table() != Aes128::sbox();
+}
+
+crypto::Aes128::Block VictimAesService::encrypt(
+    const crypto::Aes128::Block& plaintext) {
+  EXPLFRAME_CHECK_MSG(table_va_ != 0, "install_tables() first");
+  const auto table = read_table();
+  std::array<std::uint8_t, 11 * 16> rk_bytes{};
+  EXPLFRAME_CHECK(
+      system_->mem_read(*task_, keys_va_, {rk_bytes.data(), rk_bytes.size()}));
+  Aes128::RoundKeys rk{};
+  for (std::size_t r = 0; r < 11; ++r)
+    for (std::size_t i = 0; i < 16; ++i) rk[r][i] = rk_bytes[16 * r + i];
+  ++encryptions_;
+  return Aes128::encrypt_with_sbox(plaintext, rk,
+                                   std::span<const std::uint8_t, 256>(table));
+}
+
+}  // namespace explframe::attack

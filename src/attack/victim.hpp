@@ -1,0 +1,72 @@
+// The victim: a long-running crypto service whose AES S-box and round keys
+// live in its own anonymous pages — the "sensitive data" the paper's
+// attacker steers onto a Rowhammer-vulnerable frame.
+//
+// The service reloads its tables from (simulated) memory on every
+// encryption, as a table-based implementation whose cache lines the
+// attacker keeps evicting would; a persistent flip in the table page is
+// therefore visible in every subsequent ciphertext.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/aes128.hpp"
+#include "kernel/system.hpp"
+
+namespace explframe::attack {
+
+struct VictimConfig {
+  crypto::Aes128::Key key{};
+  /// Byte offset of the S-box within the table page (OpenSSL-style layout:
+  /// table at some fixed, binary-known offset).
+  std::uint32_t sbox_offset = 0x400;
+  /// Total pages the service touches when installing its state; the table
+  /// page is touched FIRST (it is the first field of the context struct).
+  std::uint32_t data_pages = 4;
+  /// Touch a warm-up region before installation so page-table nodes for the
+  /// mmap area already exist and do not consume the planted frame.
+  bool warm_up = true;
+};
+
+class VictimAesService {
+ public:
+  VictimAesService(kernel::System& system, std::uint32_t cpu,
+                   const VictimConfig& config);
+
+  /// Spawn the process and fault in the warm-up region (models the service
+  /// having been running before the attack window opens).
+  void start();
+
+  /// Allocate the crypto context pages and write the S-box + expanded key
+  /// into them. This is the small allocation the attacker's planted frame
+  /// is meant to satisfy.
+  void install_tables();
+
+  /// Encrypt one block, reloading S-box and round keys from memory.
+  crypto::Aes128::Block encrypt(const crypto::Aes128::Block& plaintext);
+
+  std::uint64_t encryptions() const noexcept { return encryptions_; }
+
+  // ---- Ground truth for the harness --------------------------------------
+  kernel::Task& task() noexcept { return *task_; }
+  vm::VirtAddr table_page_va() const noexcept { return table_va_; }
+  const VictimConfig& config() const noexcept { return config_; }
+  /// Current table content as stored in memory (may contain the fault).
+  std::array<std::uint8_t, 256> read_table();
+  /// True if the in-memory table differs from the canonical S-box.
+  bool table_corrupted();
+
+ private:
+  kernel::System* system_;
+  std::uint32_t cpu_;
+  VictimConfig config_;
+  kernel::Task* task_ = nullptr;
+  vm::VirtAddr region_va_ = 0;
+  vm::VirtAddr table_va_ = 0;  ///< Page holding the S-box.
+  vm::VirtAddr keys_va_ = 0;   ///< Page holding the round keys.
+  std::uint64_t encryptions_ = 0;
+};
+
+}  // namespace explframe::attack

@@ -1,0 +1,114 @@
+#include "crypto/present80.hpp"
+
+namespace explframe::crypto {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 16> kSbox = {0xC, 0x5, 0x6, 0xB, 0x9, 0x0,
+                                                0xA, 0xD, 0x3, 0xE, 0xF, 0x8,
+                                                0x4, 0x7, 0x1, 0x2};
+
+constexpr std::array<std::uint8_t, 16> make_inv() {
+  std::array<std::uint8_t, 16> inv{};
+  for (std::size_t i = 0; i < 16; ++i) inv[kSbox[i]] = static_cast<std::uint8_t>(i);
+  return inv;
+}
+constexpr std::array<std::uint8_t, 16> kInvSbox = make_inv();
+
+inline std::uint64_t sbox_layer(std::uint64_t s,
+                                std::span<const std::uint8_t, 16> table) noexcept {
+  std::uint64_t out = 0;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t nib = (s >> (4 * i)) & 0xF;
+    // Table entries are stored one nibble per byte; the implementation
+    // masks on use, so only low-nibble faults in a stored byte are live.
+    out |= static_cast<std::uint64_t>(table[nib] & 0xF) << (4 * i);
+  }
+  return out;
+}
+
+inline std::uint64_t inv_sbox_layer(std::uint64_t s) noexcept {
+  std::uint64_t out = 0;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t nib = (s >> (4 * i)) & 0xF;
+    out |= static_cast<std::uint64_t>(kInvSbox[nib]) << (4 * i);
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, 16>& Present80::sbox() noexcept { return kSbox; }
+const std::array<std::uint8_t, 16>& Present80::inv_sbox() noexcept {
+  return kInvSbox;
+}
+
+std::uint64_t Present80::p_layer(std::uint64_t s) noexcept {
+  std::uint64_t out = 0;
+  for (int i = 0; i < 64; ++i) {
+    const int to = (i == 63) ? 63 : (16 * i) % 63;
+    out |= ((s >> i) & 1ULL) << to;
+  }
+  return out;
+}
+
+std::uint64_t Present80::p_layer_inv(std::uint64_t s) noexcept {
+  std::uint64_t out = 0;
+  for (int i = 0; i < 64; ++i) {
+    const int to = (i == 63) ? 63 : (16 * i) % 63;
+    out |= ((s >> to) & 1ULL) << i;
+  }
+  return out;
+}
+
+Present80::RoundKeys Present80::expand_key(const Key& key) noexcept {
+  // 80-bit register, k79 (msb) .. k0.
+  __uint128_t reg = 0;
+  for (const std::uint8_t b : key) reg = (reg << 8) | b;
+  const __uint128_t mask80 = (static_cast<__uint128_t>(1) << 80) - 1;
+
+  RoundKeys rk{};
+  for (std::uint32_t round = 1; round <= 32; ++round) {
+    rk[round - 1] = static_cast<std::uint64_t>(reg >> 16);  // leftmost 64 bits
+    if (round == 32) break;
+    // 1. rotate left by 61
+    reg = ((reg << 61) | (reg >> 19)) & mask80;
+    // 2. S-box on the top nibble (bits 79..76)
+    const auto top = static_cast<std::uint8_t>((reg >> 76) & 0xF);
+    reg = (reg & ~(static_cast<__uint128_t>(0xF) << 76)) |
+          (static_cast<__uint128_t>(kSbox[top]) << 76);
+    // 3. XOR round counter into bits 19..15
+    reg ^= static_cast<__uint128_t>(round) << 15;
+  }
+  return rk;
+}
+
+std::uint64_t Present80::encrypt_with_sbox(
+    Block plaintext, const RoundKeys& rk,
+    std::span<const std::uint8_t, 16> table) noexcept {
+  std::uint64_t state = plaintext;
+  for (std::size_t round = 0; round < 31; ++round) {
+    state ^= rk[round];
+    state = sbox_layer(state, table);
+    state = p_layer(state);
+  }
+  return state ^ rk[31];
+}
+
+std::uint64_t Present80::encrypt(Block plaintext,
+                                 const RoundKeys& rk) noexcept {
+  return encrypt_with_sbox(plaintext, rk, kSbox);
+}
+
+std::uint64_t Present80::decrypt(Block ciphertext,
+                                 const RoundKeys& rk) noexcept {
+  std::uint64_t state = ciphertext ^ rk[31];
+  for (std::size_t round = 31; round-- > 0;) {
+    state = p_layer_inv(state);
+    state = inv_sbox_layer(state);
+    state ^= rk[round];
+  }
+  return state;
+}
+
+}  // namespace explframe::crypto

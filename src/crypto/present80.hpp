@@ -1,0 +1,43 @@
+// PRESENT-80 (Bogdanov et al., CHES 2007): 64-bit block, 80-bit key,
+// 31 rounds. Included as the second block cipher the title's plural
+// promises: its 4-bit S-box makes an interesting contrast for persistent
+// fault analysis (16-entry table, nibble-wise key recovery).
+//
+// As with Aes128, the S-box is pluggable so that a flipped table bit in the
+// victim's memory produces genuinely faulty ciphertexts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace explframe::crypto {
+
+class Present80 {
+ public:
+  using Block = std::uint64_t;
+  /// 80-bit key, big-endian bytes (key[0] = most significant).
+  using Key = std::array<std::uint8_t, 10>;
+  /// Round keys K1..K32 (K32 is the final whitening key).
+  using RoundKeys = std::array<std::uint64_t, 32>;
+
+  static const std::array<std::uint8_t, 16>& sbox() noexcept;
+  static const std::array<std::uint8_t, 16>& inv_sbox() noexcept;
+
+  static RoundKeys expand_key(const Key& key) noexcept;
+
+  static Block encrypt(Block plaintext, const RoundKeys& rk) noexcept;
+  static Block decrypt(Block ciphertext, const RoundKeys& rk) noexcept;
+
+  /// Encrypt with a caller-supplied (possibly faulty) S-box table.
+  static Block encrypt_with_sbox(
+      Block plaintext, const RoundKeys& rk,
+      std::span<const std::uint8_t, 16> table) noexcept;
+
+  /// Bit permutation pLayer and its inverse (exposed for the PFA attack,
+  /// which needs P^-1 to make nibble positions independent).
+  static std::uint64_t p_layer(std::uint64_t s) noexcept;
+  static std::uint64_t p_layer_inv(std::uint64_t s) noexcept;
+};
+
+}  // namespace explframe::crypto

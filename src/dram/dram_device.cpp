@@ -1,0 +1,286 @@
+#include "dram/dram_device.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/check.hpp"
+
+namespace explframe::dram {
+
+DramDevice::DramDevice(const Geometry& geometry, const DeviceParams& params,
+                       std::uint64_t seed)
+    : geometry_(geometry),
+      params_(params),
+      mapping_(geometry, params.mapping),
+      weak_cells_(geometry, params.weak_cells, seed),
+      open_row_(geometry.total_banks(), -1),
+      weak_row_(geometry.total_rows(), 0),
+      next_refresh_(params.timings.refresh_window_ns) {
+  for (const std::uint64_t r : weak_cells_.vulnerable_rows()) weak_row_[r] = 1;
+}
+
+std::uint8_t* DramDevice::row_storage(std::uint64_t flat_row) {
+  auto it = rows_.find(flat_row);
+  if (it == rows_.end()) {
+    auto buf = std::make_unique<std::uint8_t[]>(geometry_.row_bytes);
+    std::memset(buf.get(), 0, geometry_.row_bytes);
+    it = rows_.emplace(flat_row, std::move(buf)).first;
+  }
+  return it->second.get();
+}
+
+void DramDevice::advance(SimTime dt) {
+  now_ += dt;
+  while (now_ >= next_refresh_) {
+    disturbance_.clear();
+    trr_sampler_.clear();
+    ++refreshes_;
+    next_refresh_ += params_.timings.refresh_window_ns;
+  }
+}
+
+void DramDevice::refresh_now() {
+  // An explicit refresh also restarts the retention window.
+  disturbance_.clear();
+  trr_sampler_.clear();
+  ++refreshes_;
+  next_refresh_ = now_ + params_.timings.refresh_window_ns;
+}
+
+void DramDevice::trr_observe(std::uint64_t aggressor_flat) {
+  auto it = trr_sampler_.find(aggressor_flat);
+  if (it == trr_sampler_.end()) {
+    if (trr_sampler_.size() >= params_.trr.sampler_entries) {
+      // Evict the coldest tracked row (the finite-sampler weakness).
+      auto coldest = trr_sampler_.begin();
+      for (auto i = trr_sampler_.begin(); i != trr_sampler_.end(); ++i)
+        if (i->second < coldest->second) coldest = i;
+      trr_sampler_.erase(coldest);
+    }
+    it = trr_sampler_.emplace(aggressor_flat, 0).first;
+  }
+  if (++it->second < params_.trr.threshold) return;
+  // Targeted refresh of both neighbours: their disturbance is reset.
+  ++trr_hits_;
+  it->second = 0;
+  const std::uint64_t row_in_bank =
+      aggressor_flat % geometry_.rows_per_bank;
+  if (row_in_bank > 0) disturbance_.erase(aggressor_flat - 1);
+  if (row_in_bank + 1 < geometry_.rows_per_bank)
+    disturbance_.erase(aggressor_flat + 1);
+}
+
+void DramDevice::clear_live_flips(std::uint64_t flat_row, std::uint32_t col,
+                                  std::uint64_t len) {
+  const auto it = live_flips_.find(flat_row);
+  if (it == live_flips_.end()) return;
+  auto& vec = it->second;
+  vec.erase(std::remove_if(vec.begin(), vec.end(),
+                           [&](const LiveFlip& f) {
+                             return f.col >= col && f.col < col + len;
+                           }),
+            vec.end());
+  if (vec.empty()) live_flips_.erase(it);
+}
+
+void DramDevice::ecc_filter(std::uint64_t flat_row, std::uint32_t col,
+                            std::span<std::uint8_t> chunk) {
+  const auto it = live_flips_.find(flat_row);
+  if (it == live_flips_.end()) return;
+  // Group the row's live flips by 64-bit word and act on those that overlap
+  // the read range.
+  std::unordered_map<std::uint32_t, std::vector<const LiveFlip*>> by_word;
+  for (const LiveFlip& f : it->second) by_word[f.col / 8].push_back(&f);
+  for (const auto& [word, flips] : by_word) {
+    // Does this word overlap the chunk at all?
+    const std::uint32_t word_lo = word * 8;
+    if (word_lo + 8 <= col || word_lo >= col + chunk.size()) continue;
+    if (flips.size() == 1) {
+      const LiveFlip& f = *flips.front();
+      if (f.col >= col && f.col < col + chunk.size()) {
+        chunk[f.col - col] ^= static_cast<std::uint8_t>(1u << f.bit);
+        ++ecc_corrected_;
+      }
+    } else {
+      ++ecc_uncorrectable_;  // Detected, not corrected (machine check).
+    }
+  }
+}
+
+void DramDevice::idle(SimTime duration) { advance(duration); }
+
+void DramDevice::read(PhysAddr addr, std::span<std::uint8_t> out) {
+  EXPLFRAME_CHECK(addr + out.size() <= geometry_.total_bytes());
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const DramAddress c = mapping_.decode(addr + done);
+    const std::uint64_t fr = flat_row(geometry_, c);
+    const std::size_t chunk = std::min<std::size_t>(
+        out.size() - done, geometry_.row_bytes - c.col);
+    std::memcpy(out.data() + done, row_storage(fr) + c.col, chunk);
+    if (params_.ecc.enabled)
+      ecc_filter(fr, c.col, out.subspan(done, chunk));
+    done += chunk;
+  }
+}
+
+void DramDevice::write(PhysAddr addr, std::span<const std::uint8_t> in) {
+  EXPLFRAME_CHECK(addr + in.size() <= geometry_.total_bytes());
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const DramAddress c = mapping_.decode(addr + done);
+    const std::uint64_t fr = flat_row(geometry_, c);
+    const std::size_t chunk = std::min<std::size_t>(
+        in.size() - done, geometry_.row_bytes - c.col);
+    std::memcpy(row_storage(fr) + c.col, in.data() + done, chunk);
+    clear_live_flips(fr, c.col, chunk);
+    done += chunk;
+  }
+}
+
+std::uint8_t DramDevice::read_byte(PhysAddr addr) {
+  std::uint8_t v = 0;
+  read(addr, {&v, 1});
+  return v;
+}
+
+void DramDevice::write_byte(PhysAddr addr, std::uint8_t value) {
+  write(addr, {&value, 1});
+}
+
+void DramDevice::fill(PhysAddr addr, std::uint8_t value, std::uint64_t len) {
+  EXPLFRAME_CHECK(addr + len <= geometry_.total_bytes());
+  std::uint64_t done = 0;
+  while (done < len) {
+    const DramAddress c = mapping_.decode(addr + done);
+    const std::uint64_t fr = flat_row(geometry_, c);
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(len - done, geometry_.row_bytes - c.col);
+    std::memset(row_storage(fr) + c.col, value, chunk);
+    clear_live_flips(fr, c.col, chunk);
+    done += chunk;
+  }
+}
+
+bool DramDevice::aggressor_bit(const DramAddress& victim, std::int32_t delta,
+                               std::uint32_t col, std::uint8_t bit) {
+  DramAddress a = victim;
+  const std::int64_t row = static_cast<std::int64_t>(victim.row) + delta;
+  if (row < 0 || row >= static_cast<std::int64_t>(geometry_.rows_per_bank))
+    return false;
+  a.row = static_cast<std::uint32_t>(row);
+  const std::uint64_t fr = flat_row(geometry_, a);
+  // Peek without allocating: untouched rows hold zeros.
+  const auto it = rows_.find(fr);
+  if (it == rows_.end()) return false;
+  return (it->second[col] >> bit) & 1u;
+}
+
+void DramDevice::check_victim_row(std::uint64_t victim_flat,
+                                  const DramAddress& victim,
+                                  const RowDisturbance& d) {
+  const auto& cells = weak_cells_.cells_in_row(victim_flat);
+  if (cells.empty()) return;
+  std::uint8_t* data = row_storage(victim_flat);
+  for (const WeakCell& cell : cells) {
+    const bool stored = (data[cell.col] >> cell.bit) & 1u;
+    // Only charged cells can lose charge: true-cell charged at 1, anti at 0.
+    if (stored != cell.true_cell) continue;
+
+    double effective = static_cast<double>(d.acts_above) * cell.couple_above +
+                       static_cast<double>(d.acts_below) * cell.couple_below;
+    if (params_.data_pattern_sensitivity) {
+      // Stripe patterns (aggressor bit opposite to victim bit) couple at
+      // full strength; matching bits couple more weakly.
+      const bool above = aggressor_bit(victim, -1, cell.col, cell.bit);
+      const bool below = aggressor_bit(victim, +1, cell.col, cell.bit);
+      const bool any_opposite = (above != stored) || (below != stored);
+      if (!any_opposite) effective *= params_.same_pattern_coupling;
+    }
+    if (effective < static_cast<double>(cell.threshold)) continue;
+
+    data[cell.col] = static_cast<std::uint8_t>(
+        data[cell.col] ^ (1u << cell.bit));
+    DramAddress at = victim;
+    at.col = cell.col;
+    FlipEvent ev;
+    ev.addr = mapping_.encode(at);
+    ev.coord = at;
+    ev.bit = cell.bit;
+    ev.to_one = !stored;
+    ev.time = now_;
+    flips_.push_back(ev);
+    live_flips_[victim_flat].push_back({cell.col, cell.bit});
+    ++total_flips_;
+  }
+}
+
+void DramDevice::apply_disturbance(const DramAddress& aggressor) {
+  const std::uint64_t agg_flat = flat_row(geometry_, aggressor);
+  if (params_.trr.enabled) trr_observe(agg_flat);
+  // Victim above the aggressor (row-1): the aggressor is its below-neighbour.
+  if (aggressor.row > 0) {
+    const std::uint64_t victim_flat = agg_flat - 1;
+    if (weak_row_[victim_flat] != 0) {
+      auto& d = disturbance_[victim_flat];
+      ++d.acts_below;
+      DramAddress victim = aggressor;
+      victim.row -= 1;
+      check_victim_row(victim_flat, victim, d);
+    }
+  }
+  // Victim below the aggressor (row+1): the aggressor is its above-neighbour.
+  if (aggressor.row + 1 < geometry_.rows_per_bank) {
+    const std::uint64_t victim_flat = agg_flat + 1;
+    if (weak_row_[victim_flat] != 0) {
+      auto& d = disturbance_[victim_flat];
+      ++d.acts_above;
+      DramAddress victim = aggressor;
+      victim.row += 1;
+      check_victim_row(victim_flat, victim, d);
+    }
+  }
+}
+
+SimTime DramDevice::access(PhysAddr addr) {
+  EXPLFRAME_CHECK(addr < geometry_.total_bytes());
+  const DramAddress c = mapping_.decode(addr);
+  const std::uint64_t bank = flat_bank(geometry_, c);
+  SimTime latency;
+  if (open_row_[bank] == static_cast<std::int64_t>(c.row)) {
+    latency = params_.timings.row_hit_ns;
+  } else {
+    latency = params_.timings.row_conflict_ns;
+    open_row_[bank] = static_cast<std::int64_t>(c.row);
+    ++total_acts_;
+    apply_disturbance(c);
+  }
+  advance(latency);
+  return latency;
+}
+
+void DramDevice::inject_flip(PhysAddr addr, std::uint8_t bit) {
+  EXPLFRAME_CHECK(addr < geometry_.total_bytes() && bit < 8);
+  const DramAddress c = mapping_.decode(addr);
+  const std::uint64_t fr = flat_row(geometry_, c);
+  std::uint8_t* data = row_storage(fr);
+  const bool was_set = (data[c.col] >> bit) & 1u;
+  data[c.col] = static_cast<std::uint8_t>(data[c.col] ^ (1u << bit));
+  FlipEvent ev;
+  ev.addr = addr;
+  ev.coord = c;
+  ev.bit = bit;
+  ev.to_one = !was_set;
+  ev.time = now_;
+  flips_.push_back(ev);
+  live_flips_[fr].push_back({c.col, bit});
+  ++total_flips_;
+}
+
+std::vector<FlipEvent> DramDevice::drain_flips() {
+  std::vector<FlipEvent> out;
+  out.swap(flips_);
+  return out;
+}
+
+}  // namespace explframe::dram

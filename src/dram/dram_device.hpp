@@ -1,0 +1,179 @@
+// The simulated DRAM main memory: byte storage, row-buffer timing, refresh,
+// and the Rowhammer disturbance mechanism.
+//
+// Every physical-memory byte in the simulated machine lives here, so a bit
+// flip induced by hammering mutates exactly the data a victim process later
+// reads — the fault-analysis pipeline never "declares" a fault out of band.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/address_mapping.hpp"
+#include "dram/geometry.hpp"
+#include "dram/weak_cells.hpp"
+#include "support/units.hpp"
+
+namespace explframe::dram {
+
+/// Access timings (ns) for the row-buffer model. Values follow typical
+/// DDR3-1600 parts.
+struct DramTimings {
+  SimTime row_hit_ns = 50;       ///< Load served from an open row.
+  SimTime row_conflict_ns = 90;  ///< Precharge + activate + read.
+  SimTime act_ns = 47;           ///< tRC: min row activate-to-activate.
+  SimTime refresh_window_ns = 64 * kMillisecond;  ///< tREFW.
+};
+
+/// Target Row Refresh: the in-DRAM mitigation on post-2014 parts. A small
+/// per-device sampler tracks frequently activated rows; when a sampled row
+/// crosses the threshold its neighbours get a targeted refresh, resetting
+/// their disturbance. The finite sampler is what many-sided bypasses exploit
+/// (not modelled as an attack here, but the capacity knob exists).
+struct TrrParams {
+  bool enabled = false;
+  std::uint32_t threshold = 20'000;    ///< Activations before intervention.
+  std::uint32_t sampler_entries = 32;  ///< Rows tracked concurrently.
+};
+
+/// SECDED ECC at 64-bit word granularity: one flipped bit per word is
+/// corrected on read; two or more are counted as uncorrectable (a machine
+/// check on real hardware). Rewriting a word clears its flip records.
+struct EccParams {
+  bool enabled = false;
+};
+
+struct DeviceParams {
+  DramTimings timings;
+  WeakCellParams weak_cells;
+  MappingScheme mapping = MappingScheme::kRowMajor;
+  /// If true, a victim cell whose stored bit matches the aggressor-row bit
+  /// at the same column couples more weakly (stripe patterns flip best).
+  bool data_pattern_sensitivity = true;
+  double same_pattern_coupling = 0.6;
+  TrrParams trr;
+  EccParams ecc;
+};
+
+/// Record of one induced bit flip.
+struct FlipEvent {
+  PhysAddr addr = 0;       ///< Physical byte address of the flipped bit.
+  DramAddress coord;       ///< Decoded coordinate.
+  std::uint8_t bit = 0;    ///< Bit index within the byte.
+  bool to_one = false;     ///< Direction: false = 1->0, true = 0->1.
+  SimTime time = 0;        ///< Device clock at flip.
+};
+
+class DramDevice {
+ public:
+  DramDevice(const Geometry& geometry, const DeviceParams& params,
+             std::uint64_t seed);
+
+  const Geometry& geometry() const noexcept { return geometry_; }
+  const AddressMapping& mapping() const noexcept { return mapping_; }
+  const WeakCellModel& weak_cells() const noexcept { return weak_cells_; }
+  const DeviceParams& params() const noexcept { return params_; }
+
+  // ---- Data path -----------------------------------------------------
+  void read(PhysAddr addr, std::span<std::uint8_t> out);
+  void write(PhysAddr addr, std::span<const std::uint8_t> in);
+  std::uint8_t read_byte(PhysAddr addr);
+  void write_byte(PhysAddr addr, std::uint8_t value);
+  void fill(PhysAddr addr, std::uint8_t value, std::uint64_t len);
+
+  // ---- Timing-visible access path (the attacker's view) ---------------
+  /// Perform one uncached access: opens the row (activating it, which also
+  /// exerts Rowhammer disturbance on neighbours) and returns the latency.
+  /// This is the primitive behind both the hammer loop and the row-conflict
+  /// timing side channel.
+  SimTime access(PhysAddr addr);
+
+  // ---- Maintenance -----------------------------------------------------
+  /// Advance the device clock without accesses (models the attacker waiting).
+  void idle(SimTime duration);
+
+  /// Force a full refresh now (normally triggered by the internal clock).
+  void refresh_now();
+
+  /// Deterministically flip one stored bit (fault-injection hook for tests
+  /// and controlled experiments): toggles the bit, logs a FlipEvent and
+  /// registers it with the ECC bookkeeping exactly like a disturbance flip.
+  void inject_flip(PhysAddr addr, std::uint8_t bit);
+
+  SimTime now() const noexcept { return now_; }
+
+  // ---- Flip log / statistics -------------------------------------------
+  /// All flips since the last drain (in occurrence order).
+  std::vector<FlipEvent> drain_flips();
+  std::uint64_t total_flips() const noexcept { return total_flips_; }
+  std::uint64_t total_activations() const noexcept { return total_acts_; }
+  std::uint64_t refresh_count() const noexcept { return refreshes_; }
+  std::uint64_t trr_interventions() const noexcept { return trr_hits_; }
+  std::uint64_t ecc_corrected_bits() const noexcept { return ecc_corrected_; }
+  std::uint64_t ecc_uncorrectable_words() const noexcept {
+    return ecc_uncorrectable_;
+  }
+
+ private:
+  struct RowDisturbance {
+    std::uint32_t acts_above = 0;  ///< Activations of row-1 this window.
+    std::uint32_t acts_below = 0;  ///< Activations of row+1 this window.
+  };
+  struct LiveFlip {
+    std::uint32_t col;
+    std::uint8_t bit;
+  };
+
+  std::uint8_t* row_storage(std::uint64_t flat_row);
+  void advance(SimTime dt);
+  void apply_disturbance(const DramAddress& aggressor);
+  void check_victim_row(std::uint64_t victim_flat, const DramAddress& victim,
+                        const RowDisturbance& d);
+  bool aggressor_bit(const DramAddress& victim, std::int32_t delta,
+                     std::uint32_t col, std::uint8_t bit);
+  void trr_observe(std::uint64_t aggressor_flat);
+  void clear_live_flips(std::uint64_t flat_row, std::uint32_t col,
+                        std::uint64_t len);
+  void ecc_filter(std::uint64_t flat_row, std::uint32_t col,
+                  std::span<std::uint8_t> chunk);
+
+  Geometry geometry_;
+  DeviceParams params_;
+  AddressMapping mapping_;
+  WeakCellModel weak_cells_;
+
+  // Lazily allocated row storage (zero-filled on first touch).
+  std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>> rows_;
+
+  // Row-buffer state: open row per flat bank (-1 = closed).
+  std::vector<std::int64_t> open_row_;
+
+  // Fast path for the hammer loop: weak_[r] != 0 iff row r contains weak
+  // cells. Avoids two hash lookups per activation.
+  std::vector<std::uint8_t> weak_row_;
+
+  // Disturbance counters for rows that contain weak cells, this window.
+  std::unordered_map<std::uint64_t, RowDisturbance> disturbance_;
+
+  std::vector<FlipEvent> flips_;
+
+  // Flipped-but-not-yet-rewritten bits, per row (ECC bookkeeping).
+  std::unordered_map<std::uint64_t, std::vector<LiveFlip>> live_flips_;
+
+  // TRR sampler: activation counts of tracked rows this window.
+  std::unordered_map<std::uint64_t, std::uint32_t> trr_sampler_;
+
+  SimTime now_ = 0;
+  SimTime next_refresh_ = 0;
+  std::uint64_t total_flips_ = 0;
+  std::uint64_t total_acts_ = 0;
+  std::uint64_t refreshes_ = 0;
+  std::uint64_t trr_hits_ = 0;
+  std::uint64_t ecc_corrected_ = 0;
+  std::uint64_t ecc_uncorrectable_ = 0;
+};
+
+}  // namespace explframe::dram

@@ -1,0 +1,65 @@
+#include "dram/hammer.hpp"
+
+#include "support/check.hpp"
+
+namespace explframe::dram {
+
+HammerResult HammerEngine::hammer(std::span<const PhysAddr> aggressors,
+                                  std::uint64_t iterations) {
+  HammerResult result;
+  if (aggressors.empty()) return result;
+  const SimTime start = device_->now();
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    for (const PhysAddr a : aggressors) device_->access(a);
+  }
+  result.iterations = iterations;
+  result.elapsed = device_->now() - start;
+  result.flips = device_->drain_flips();
+  return result;
+}
+
+HammerResult HammerEngine::hammer_double_sided(PhysAddr victim_row_addr,
+                                               std::uint64_t iterations) {
+  const AddressMapping& map = device_->mapping();
+  PhysAddr above = 0;
+  PhysAddr below = 0;
+  if (!map.neighbor_row_addr(victim_row_addr, -1, 0, above) ||
+      !map.neighbor_row_addr(victim_row_addr, +1, 0, below)) {
+    return {};
+  }
+  const PhysAddr pair[2] = {above, below};
+  return hammer(pair, iterations);
+}
+
+HammerResult HammerEngine::hammer_single_sided(PhysAddr aggressor,
+                                               std::uint64_t iterations) {
+  const AddressMapping& map = device_->mapping();
+  PhysAddr partner = 0;
+  if (!map.neighbor_row_addr(aggressor, +8, 0, partner) &&
+      !map.neighbor_row_addr(aggressor, -8, 0, partner)) {
+    return {};
+  }
+  const PhysAddr pair[2] = {aggressor, partner};
+  return hammer(pair, iterations);
+}
+
+double HammerEngine::time_alternating(PhysAddr a, PhysAddr b,
+                                      std::uint32_t probes) {
+  EXPLFRAME_CHECK(probes > 0);
+  SimTime total = 0;
+  for (std::uint32_t i = 0; i < probes; ++i) {
+    total += device_->access(a);
+    total += device_->access(b);
+  }
+  return static_cast<double>(total) / (2.0 * static_cast<double>(probes));
+}
+
+bool HammerEngine::same_bank_by_timing(PhysAddr a, PhysAddr b,
+                                       std::uint32_t probes) {
+  const auto& t = device_->params().timings;
+  const double threshold =
+      0.5 * static_cast<double>(t.row_hit_ns + t.row_conflict_ns);
+  return time_alternating(a, b, probes) > threshold;
+}
+
+}  // namespace explframe::dram

@@ -1,0 +1,59 @@
+// Rowhammer primitives built on the uncached-access path of DramDevice:
+// the hammer loop itself (flush+read alternation) and the row-conflict
+// timing side channel the attacker uses to group addresses by bank.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dram/dram_device.hpp"
+
+namespace explframe::dram {
+
+struct HammerResult {
+  std::uint64_t iterations = 0;  ///< Alternation rounds executed.
+  SimTime elapsed = 0;           ///< Simulated time the loop took.
+  std::vector<FlipEvent> flips;  ///< Flips induced during this loop.
+};
+
+/// Drives hammering sessions against a DramDevice. All methods operate on
+/// physical addresses; callers in the attack layer obtain them through the
+/// simulated MMU (i.e. by accessing their own virtual memory).
+class HammerEngine {
+ public:
+  explicit HammerEngine(DramDevice& device) : device_(&device) {}
+
+  /// One iteration = one uncached access of every aggressor in order
+  /// (the classic `loop { read a; read b; clflush a; clflush b; }`).
+  /// Aggressors in the same bank keep evicting each other's row buffer, so
+  /// each access is a row activation.
+  HammerResult hammer(std::span<const PhysAddr> aggressors,
+                      std::uint64_t iterations);
+
+  /// Double-sided hammer of the rows adjacent to `victim_row_addr`.
+  /// Returns iterations=0 if either neighbour row is out of range.
+  HammerResult hammer_double_sided(PhysAddr victim_row_addr,
+                                   std::uint64_t iterations);
+
+  /// Single-sided hammer: alternates `aggressor` with a same-bank row far
+  /// enough away (8 rows) that its own neighbourhood does not overlap the
+  /// target's.
+  HammerResult hammer_single_sided(PhysAddr aggressor,
+                                   std::uint64_t iterations);
+
+  /// Row-conflict timing probe: average latency (ns) of alternately
+  /// accessing `a` and `b`. Same-bank/different-row pairs show conflict
+  /// latency; different-bank pairs show hit latency. This is the only
+  /// physical-layout oracle an unprivileged attacker has.
+  double time_alternating(PhysAddr a, PhysAddr b, std::uint32_t probes = 64);
+
+  /// Classifies a pair as same-bank using the timing probe and a threshold
+  /// halfway between hit and conflict latency.
+  bool same_bank_by_timing(PhysAddr a, PhysAddr b, std::uint32_t probes = 64);
+
+ private:
+  DramDevice* device_;
+};
+
+}  // namespace explframe::dram

@@ -1,0 +1,91 @@
+#include "dram/weak_cells.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/units.hpp"
+
+namespace explframe::dram {
+
+const std::vector<WeakCell> WeakCellModel::kEmpty{};
+
+WeakCellModel::WeakCellModel(const Geometry& geometry,
+                             const WeakCellParams& params, std::uint64_t seed)
+    : params_(params) {
+  EXPLFRAME_CHECK(params.cells_per_mib >= 0.0);
+  Rng rng(seed ^ 0xdead5eedULL);
+
+  const double expected =
+      params.cells_per_mib *
+      (static_cast<double>(geometry.total_bytes()) / static_cast<double>(kMiB));
+  // Sample the population count from Poisson via normal approximation for
+  // large means, exact inversion for small.
+  std::size_t count;
+  if (expected > 64.0) {
+    count = static_cast<std::size_t>(std::max(
+        0.0, std::round(rng.normal(expected, std::sqrt(expected)))));
+  } else {
+    // Knuth's algorithm.
+    const double limit = std::exp(-expected);
+    double prod = rng.uniform01();
+    count = 0;
+    while (prod > limit) {
+      ++count;
+      prod *= rng.uniform01();
+    }
+  }
+
+  const std::uint64_t rows = geometry.total_rows();
+  for (std::size_t i = 0; i < count; ++i) {
+    WeakCell cell;
+    cell.col = static_cast<std::uint32_t>(rng.uniform(geometry.row_bytes));
+    cell.bit = static_cast<std::uint8_t>(rng.uniform(8));
+    const double t =
+        std::exp(rng.normal(params.threshold_log_mean, params.threshold_log_sigma));
+    cell.threshold = static_cast<std::uint32_t>(std::clamp<double>(
+        t, params.threshold_min, params.threshold_max));
+    cell.true_cell = rng.bernoulli(params.true_cell_fraction);
+    if (rng.bernoulli(params.single_sided_fraction)) {
+      if (rng.bernoulli(0.5)) {
+        cell.couple_above = 1.0F;
+        cell.couple_below = 0.0F;
+      } else {
+        cell.couple_above = 0.0F;
+        cell.couple_below = 1.0F;
+      }
+    } else {
+      // Both sides couple; the weaker side still contributes.
+      cell.couple_above = 1.0F;
+      cell.couple_below =
+          static_cast<float>(0.5 + 0.5 * rng.uniform01());
+      if (rng.bernoulli(0.5)) std::swap(cell.couple_above, cell.couple_below);
+    }
+    const std::uint64_t row = rng.uniform(rows);
+    auto& vec = by_row_[row];
+    // Avoid exact duplicates (same col+bit) within a row.
+    const bool dup = std::any_of(vec.begin(), vec.end(), [&](const WeakCell& w) {
+      return w.col == cell.col && w.bit == cell.bit;
+    });
+    if (dup) continue;
+    vec.push_back(cell);
+    ++total_;
+  }
+}
+
+const std::vector<WeakCell>& WeakCellModel::cells_in_row(
+    std::uint64_t flat_row) const {
+  const auto it = by_row_.find(flat_row);
+  return it == by_row_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::uint64_t> WeakCellModel::vulnerable_rows() const {
+  std::vector<std::uint64_t> rows;
+  rows.reserve(by_row_.size());
+  for (const auto& [row, cells] : by_row_)
+    if (!cells.empty()) rows.push_back(row);
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace explframe::dram

@@ -1,0 +1,72 @@
+// Disturbance-prone ("weak") DRAM cell population.
+//
+// Kim et al. (ISCA'14) measured that a small, module-dependent fraction of
+// cells flip when a neighbouring row is activated more than a per-cell
+// threshold number of times within one refresh window; thresholds cluster
+// around 50K-140K activations, the flip direction depends on whether the
+// cell is a true-cell (charged = 1, flips 1->0) or anti-cell (charged = 0,
+// flips 0->1), and flips are strongly repeatable at the same cell.
+//
+// WeakCellModel samples such a population deterministically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/geometry.hpp"
+#include "support/rng.hpp"
+
+namespace explframe::dram {
+
+/// One disturbance-prone cell within a row.
+struct WeakCell {
+  std::uint32_t col = 0;     ///< Byte offset within the row.
+  std::uint8_t bit = 0;      ///< Bit index within the byte, 0..7.
+  std::uint32_t threshold = 0;  ///< Activations-within-window needed to flip.
+  bool true_cell = true;     ///< true: flips 1->0; false (anti): flips 0->1.
+  /// Sensitivity to each aggressor side; double-sided hammering sums both.
+  /// Values in [0,1]; at least one side is 1.0.
+  float couple_above = 1.0F;  ///< Coupling to row-1 (the row above).
+  float couple_below = 1.0F;  ///< Coupling to row+1 (the row below).
+};
+
+struct WeakCellParams {
+  /// Expected weak cells per MiB of DRAM. Kim'14 observed 0.05 - 10^4 errors
+  /// per 2^30 cells depending on module; the default (4/MiB ~ 4096/GiB)
+  /// models a typically vulnerable DDR3 part.
+  double cells_per_mib = 4.0;
+  /// Log-normal threshold distribution parameters (median ~ 60K activations).
+  double threshold_log_mean = 11.0;   ///< ln(60K) ~ 11.0
+  double threshold_log_sigma = 0.35;
+  std::uint32_t threshold_min = 25'000;
+  std::uint32_t threshold_max = 400'000;
+  /// Fraction of weak cells that are true-cells.
+  double true_cell_fraction = 0.55;
+  /// Fraction of weak cells coupled to only one neighbour side.
+  double single_sided_fraction = 0.30;
+};
+
+/// Immutable population of weak cells, indexed by flat row.
+class WeakCellModel {
+ public:
+  WeakCellModel(const Geometry& geometry, const WeakCellParams& params,
+                std::uint64_t seed);
+
+  /// Weak cells in the given row (empty vector if none).
+  const std::vector<WeakCell>& cells_in_row(std::uint64_t flat_row) const;
+
+  std::size_t total_cells() const noexcept { return total_; }
+  const WeakCellParams& params() const noexcept { return params_; }
+
+  /// Rows that contain at least one weak cell (for test/diagnostic use).
+  std::vector<std::uint64_t> vulnerable_rows() const;
+
+ private:
+  WeakCellParams params_;
+  std::unordered_map<std::uint64_t, std::vector<WeakCell>> by_row_;
+  std::size_t total_ = 0;
+  static const std::vector<WeakCell> kEmpty;
+};
+
+}  // namespace explframe::dram

@@ -1,0 +1,48 @@
+// Descriptions of S-box table faults — the bridge between a Rowhammer flip
+// event (page offset + bit) and the cryptanalytic fault model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace explframe::fault {
+
+/// A persistent single-bit (or multi-bit) fault in one byte of an S-box
+/// table: table[index] becomes table[index] ^ mask.
+struct SboxByteFault {
+  std::uint16_t index = 0;  ///< Table index (0..255 for AES, 0..15 PRESENT).
+  std::uint8_t mask = 0;    ///< XOR difference, non-zero.
+
+  friend bool operator==(const SboxByteFault&, const SboxByteFault&) = default;
+};
+
+/// Apply a fault to a table in place; returns {old value, new value}.
+template <std::size_t N>
+std::pair<std::uint8_t, std::uint8_t> apply_fault(
+    std::array<std::uint8_t, N>& table, const SboxByteFault& fault) {
+  const std::uint8_t before = table[fault.index % N];
+  table[fault.index % N] = static_cast<std::uint8_t>(before ^ fault.mask);
+  return {before, table[fault.index % N]};
+}
+
+/// Interpret a flipped bit at byte offset `offset` within a memory region
+/// holding an N-entry S-box table starting at `table_offset`. Returns the
+/// resulting table fault if the flip landed inside the table.
+inline std::optional<SboxByteFault> fault_from_flip(std::uint64_t offset,
+                                                    std::uint8_t bit,
+                                                    std::uint64_t table_offset,
+                                                    std::size_t table_size) {
+  if (offset < table_offset || offset >= table_offset + table_size)
+    return std::nullopt;
+  SboxByteFault f;
+  f.index = static_cast<std::uint16_t>(offset - table_offset);
+  f.mask = static_cast<std::uint8_t>(1u << bit);
+  return f;
+}
+
+std::string describe(const SboxByteFault& fault);
+
+}  // namespace explframe::fault

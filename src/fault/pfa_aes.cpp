@@ -1,0 +1,90 @@
+#include "fault/pfa_aes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "fault/injection.hpp"
+
+namespace explframe::fault {
+
+const char* to_string(PfaStrategy strategy) noexcept {
+  switch (strategy) {
+    case PfaStrategy::kMissingValue:
+      return "missing-value";
+    case PfaStrategy::kMaxLikelihood:
+      return "max-likelihood";
+  }
+  return "?";
+}
+
+std::string describe(const SboxByteFault& fault) {
+  std::ostringstream os;
+  os << "S[0x" << std::hex << fault.index << "] ^= 0x"
+     << static_cast<unsigned>(fault.mask);
+  return os.str();
+}
+
+void AesPfa::add_ciphertext(const Block& c) noexcept {
+  for (std::size_t j = 0; j < 16; ++j) ++freq_[j][c[j]];
+  ++count_;
+}
+
+void AesPfa::reset() noexcept {
+  for (auto& f : freq_) f.fill(0);
+  count_ = 0;
+}
+
+std::array<std::vector<std::uint8_t>, 16> AesPfa::candidates(
+    PfaStrategy strategy, std::uint8_t v, std::uint8_t v_new) const {
+  std::array<std::vector<std::uint8_t>, 16> out;
+  for (std::size_t j = 0; j < 16; ++j) {
+    const auto& f = freq_[j];
+    if (strategy == PfaStrategy::kMissingValue) {
+      for (std::size_t t = 0; t < 256; ++t)
+        if (f[t] == 0)
+          out[j].push_back(static_cast<std::uint8_t>(t ^ v));
+    } else {
+      // All values tied for the maximum count are candidates; with enough
+      // data only t = v' ^ K10_j (hit twice per SubBytes image) survives.
+      std::uint32_t best = 0;
+      for (const auto c : f) best = std::max(best, c);
+      if (best == 0) continue;
+      for (std::size_t t = 0; t < 256; ++t)
+        if (f[t] == best)
+          out[j].push_back(static_cast<std::uint8_t>(t ^ v_new));
+    }
+  }
+  return out;
+}
+
+double AesPfa::remaining_keyspace_log2(PfaStrategy strategy, std::uint8_t v,
+                                       std::uint8_t v_new) const {
+  const auto cand = candidates(strategy, v, v_new);
+  double bits = 0.0;
+  for (const auto& c : cand) {
+    if (c.empty()) return 128.0;  // No information yet for this byte.
+    bits += std::log2(static_cast<double>(c.size()));
+  }
+  return bits;
+}
+
+std::optional<AesPfa::RoundKey> AesPfa::recover_round10(
+    PfaStrategy strategy, std::uint8_t v, std::uint8_t v_new) const {
+  const auto cand = candidates(strategy, v, v_new);
+  RoundKey key{};
+  for (std::size_t j = 0; j < 16; ++j) {
+    if (cand[j].size() != 1) return std::nullopt;
+    key[j] = cand[j][0];
+  }
+  return key;
+}
+
+std::optional<crypto::Aes128::Key> AesPfa::recover_master_key(
+    PfaStrategy strategy, std::uint8_t v, std::uint8_t v_new) const {
+  const auto k10 = recover_round10(strategy, v, v_new);
+  if (!k10) return std::nullopt;
+  return crypto::Aes128::master_key_from_round10(*k10);
+}
+
+}  // namespace explframe::fault

@@ -1,0 +1,73 @@
+// Persistent Fault Analysis of AES-128 (Zhang et al., TCHES 2018 — the
+// paper's reference [12]).
+//
+// Fault model: one S-box entry is persistently corrupted, S*(i0) = v' != v.
+// The value v then never appears at the output of the last-round SubBytes,
+// so ciphertext byte j never takes the value v ^ K10_j; conversely v'
+// appears roughly twice as often as any other value. Collecting ciphertexts
+// of (unknown, varied) plaintexts therefore reveals K10 byte-by-byte:
+//
+//   missing-value:  K10_j = (the value absent from byte j)  ^ v
+//   max-likelihood: K10_j = (the most frequent value)       ^ v'
+//
+// ExplFrame gives the attacker v and v' for free: templating reports the
+// flipped page offset and bit, which identify the corrupted table entry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/aes128.hpp"
+
+namespace explframe::fault {
+
+enum class PfaStrategy {
+  kMissingValue,   ///< Exact once all 256 values would otherwise be seen
+                   ///< (~2.3K ciphertexts; the standard PFA statistic).
+  kMaxLikelihood,  ///< Frequency peak at v'. A simpler statistic that does
+                   ///< not need the absent value, but pinning all 16 peaks
+                   ///< simultaneously takes more data (~10K+).
+};
+
+const char* to_string(PfaStrategy strategy) noexcept;
+
+class AesPfa {
+ public:
+  using Block = crypto::Aes128::Block;
+  using RoundKey = crypto::Aes128::RoundKey;
+
+  void add_ciphertext(const Block& c) noexcept;
+  std::size_t ciphertext_count() const noexcept { return count_; }
+  void reset() noexcept;
+
+  /// Candidate K10 bytes for each position. `v` is the vanished S-box
+  /// output value; `v_new` its replacement (used by kMaxLikelihood).
+  std::array<std::vector<std::uint8_t>, 16> candidates(
+      PfaStrategy strategy, std::uint8_t v, std::uint8_t v_new) const;
+
+  /// log2 of the number of consistent K10 values (0 when unique;
+  /// +inf-like 128.0 when some byte has no candidate yet).
+  double remaining_keyspace_log2(PfaStrategy strategy, std::uint8_t v,
+                                 std::uint8_t v_new) const;
+
+  /// The unique K10 if every byte has exactly one candidate.
+  std::optional<RoundKey> recover_round10(PfaStrategy strategy, std::uint8_t v,
+                                          std::uint8_t v_new) const;
+
+  /// Full pipeline: K10 -> master key via inverse key schedule.
+  std::optional<crypto::Aes128::Key> recover_master_key(
+      PfaStrategy strategy, std::uint8_t v, std::uint8_t v_new) const;
+
+  /// Frequency table of byte position j (diagnostics / bench output).
+  const std::array<std::uint32_t, 256>& frequencies(std::size_t j) const {
+    return freq_[j];
+  }
+
+ private:
+  std::array<std::array<std::uint32_t, 256>, 16> freq_{};
+  std::size_t count_ = 0;
+};
+
+}  // namespace explframe::fault

@@ -1,0 +1,94 @@
+#include "fault/pfa_present.hpp"
+
+#include <cmath>
+
+namespace explframe::fault {
+
+using crypto::Present80;
+
+void PresentPfa::add_ciphertext(std::uint64_t c) noexcept {
+  const std::uint64_t d = Present80::p_layer_inv(c);
+  for (std::size_t j = 0; j < 16; ++j)
+    ++freq_[j][(d >> (4 * j)) & 0xF];
+  ++count_;
+}
+
+void PresentPfa::reset() noexcept {
+  for (auto& f : freq_) f.fill(0);
+  count_ = 0;
+}
+
+std::array<std::vector<std::uint8_t>, 16> PresentPfa::candidates(
+    std::uint8_t v) const {
+  std::array<std::vector<std::uint8_t>, 16> out;
+  for (std::size_t j = 0; j < 16; ++j) {
+    for (std::uint8_t t = 0; t < 16; ++t)
+      if (freq_[j][t] == 0)
+        out[j].push_back(static_cast<std::uint8_t>(t ^ v));
+  }
+  return out;
+}
+
+double PresentPfa::remaining_keyspace_log2(std::uint8_t v) const {
+  const auto cand = candidates(v);
+  double bits = 0.0;
+  for (const auto& c : cand) {
+    if (c.empty()) return 64.0;
+    bits += std::log2(static_cast<double>(c.size()));
+  }
+  return bits;
+}
+
+std::optional<std::uint64_t> PresentPfa::recover_k32(std::uint8_t v) const {
+  const auto cand = candidates(v);
+  std::uint64_t l = 0;
+  for (std::size_t j = 0; j < 16; ++j) {
+    if (cand[j].size() != 1) return std::nullopt;
+    l |= static_cast<std::uint64_t>(cand[j][0] & 0xF) << (4 * j);
+  }
+  return Present80::p_layer(l);
+}
+
+namespace {
+
+/// Invert the key-schedule register from the round-32 state back to the
+/// master key (the inverse of the three forward steps, in reverse order).
+crypto::Present80::Key invert_schedule(__uint128_t reg32) {
+  const __uint128_t mask80 = (static_cast<__uint128_t>(1) << 80) - 1;
+  const auto& inv = Present80::inv_sbox();
+  __uint128_t reg = reg32 & mask80;
+  for (std::uint32_t round = 31; round >= 1; --round) {
+    reg ^= static_cast<__uint128_t>(round) << 15;
+    const auto top = static_cast<std::uint8_t>((reg >> 76) & 0xF);
+    reg = (reg & ~(static_cast<__uint128_t>(0xF) << 76)) |
+          (static_cast<__uint128_t>(inv[top]) << 76);
+    reg = ((reg >> 61) | (reg << 19)) & mask80;
+  }
+  crypto::Present80::Key key{};
+  for (std::size_t i = 0; i < 10; ++i)
+    key[i] = static_cast<std::uint8_t>(reg >> (8 * (9 - i)));
+  return key;
+}
+
+}  // namespace
+
+std::optional<PresentPfa::MasterKeyResult> PresentPfa::recover_master_key(
+    std::uint8_t v, std::uint64_t known_plaintext,
+    std::uint64_t known_ciphertext,
+    std::span<const std::uint8_t, 16> faulty_sbox) const {
+  const auto k32 = recover_k32(v);
+  if (!k32) return std::nullopt;
+  for (std::uint32_t low = 0; low < (1u << 16); ++low) {
+    const __uint128_t reg32 =
+        (static_cast<__uint128_t>(*k32) << 16) | low;
+    const auto key = invert_schedule(reg32);
+    const auto rk = Present80::expand_key(key);
+    if (Present80::encrypt_with_sbox(known_plaintext, rk, faulty_sbox) ==
+        known_ciphertext) {
+      return MasterKeyResult{key, low + 1};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace explframe::fault

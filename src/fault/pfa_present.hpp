@@ -1,0 +1,57 @@
+// Persistent Fault Analysis of PRESENT-80.
+//
+// The last round is  C = P(S*(x)) ^ K32.  Because the bit permutation P is
+// linear over XOR,  P^-1(C) = S*(x) ^ P^-1(K32): in the permuted domain the
+// 16 nibbles are independent, so the AES missing-value argument applies
+// nibble-wise to L = P^-1(K32):
+//
+//   L_j = (value absent from nibble j of P^-1(C))  ^  v
+//
+// where v is the S-box output value erased by the fault. K32 = P(L) yields
+// 64 of the 80 key-register bits; the remaining 16 bits are brute-forced
+// with one known plaintext/ciphertext pair (reported as residual work).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/present80.hpp"
+
+namespace explframe::fault {
+
+class PresentPfa {
+ public:
+  void add_ciphertext(std::uint64_t c) noexcept;
+  std::size_t ciphertext_count() const noexcept { return count_; }
+  void reset() noexcept;
+
+  /// Candidate values for each nibble of L = P^-1(K32).
+  std::array<std::vector<std::uint8_t>, 16> candidates(std::uint8_t v) const;
+
+  double remaining_keyspace_log2(std::uint8_t v) const;
+
+  /// The unique last-round key K32 if every nibble is pinned.
+  std::optional<std::uint64_t> recover_k32(std::uint8_t v) const;
+
+  /// Recover the full 80-bit master key: K32 from PFA plus a 2^16 search
+  /// over the undetermined low register bits, checked against one known
+  /// plaintext/ciphertext pair (encrypted with the *faulty* S-box, since
+  /// the fault is persistent). Returns the key and the number of
+  /// candidates tried (the residual brute-force work).
+  struct MasterKeyResult {
+    crypto::Present80::Key key{};
+    std::uint32_t search_tried = 0;
+  };
+  std::optional<MasterKeyResult> recover_master_key(
+      std::uint8_t v, std::uint64_t known_plaintext,
+      std::uint64_t known_ciphertext,
+      std::span<const std::uint8_t, 16> faulty_sbox) const;
+
+ private:
+  std::array<std::array<std::uint32_t, 16>, 16> freq_{};
+  std::size_t count_ = 0;
+};
+
+}  // namespace explframe::fault

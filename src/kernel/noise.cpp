@@ -1,0 +1,33 @@
+#include "kernel/noise.hpp"
+
+namespace explframe::kernel {
+
+void NoiseWorkload::step() {
+  const bool do_alloc =
+      live_.empty() || (live_.size() < config_.max_live_regions &&
+                        rng_.bernoulli(config_.alloc_bias));
+  if (do_alloc) {
+    const auto pages = static_cast<std::uint32_t>(rng_.uniform_range(
+        config_.min_pages, config_.max_pages));
+    const vm::VirtAddr va = system_->sys_mmap(*task_, pages * kPageSize);
+    // Touch every page so frames are actually consumed.
+    for (std::uint32_t p = 0; p < pages; ++p) {
+      const std::uint8_t byte = static_cast<std::uint8_t>(rng_.next());
+      system_->mem_write(*task_, va + p * kPageSize, {&byte, 1});
+    }
+    live_.push_back({va, pages});
+    pages_allocated_ += pages;
+  } else {
+    const std::size_t idx = rng_.uniform(live_.size());
+    const Region r = live_[idx];
+    live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(idx));
+    system_->sys_munmap(*task_, r.va, r.pages * kPageSize);
+    pages_released_ += r.pages;
+  }
+}
+
+void NoiseWorkload::run(std::uint32_t ops) {
+  for (std::uint32_t i = 0; i < ops; ++i) step();
+}
+
+}  // namespace explframe::kernel

@@ -1,0 +1,46 @@
+#include "kernel/scheduler.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace explframe::kernel {
+
+void Scheduler::add(Task& task) {
+  EXPLFRAME_CHECK(task.cpu() < queues_.size());
+  queues_[task.cpu()].push_back(&task);
+}
+
+void Scheduler::remove(const Task& task) {
+  for (auto& q : queues_)
+    q.erase(std::remove(q.begin(), q.end(), &task), q.end());
+}
+
+Task* Scheduler::pick_next(std::uint32_t cpu) {
+  EXPLFRAME_CHECK(cpu < queues_.size());
+  auto& q = queues_[cpu];
+  if (q.empty()) return nullptr;
+  for (std::size_t tried = 0; tried < q.size(); ++tried) {
+    cursor_[cpu] = (cursor_[cpu] + 1) % q.size();
+    Task* t = q[cursor_[cpu]];
+    if (t->state() == TaskState::kRunnable) return t;
+  }
+  return nullptr;
+}
+
+void Scheduler::migrate(Task& task, std::uint32_t cpu) {
+  EXPLFRAME_CHECK(cpu < queues_.size());
+  remove(task);
+  task.set_cpu(cpu);
+  queues_[cpu].push_back(&task);
+}
+
+std::size_t Scheduler::runnable_on(std::uint32_t cpu) const {
+  EXPLFRAME_CHECK(cpu < queues_.size());
+  std::size_t n = 0;
+  for (const Task* t : queues_[cpu])
+    if (t->state() == TaskState::kRunnable) ++n;
+  return n;
+}
+
+}  // namespace explframe::kernel

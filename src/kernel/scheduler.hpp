@@ -1,0 +1,34 @@
+// Round-robin per-CPU scheduler. The attack experiments drive tasks
+// explicitly; the scheduler exists so the examples can run multi-process
+// scenarios with realistic interleaving, and to model CPU migration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/task.hpp"
+
+namespace explframe::kernel {
+
+class Scheduler {
+ public:
+  explicit Scheduler(std::uint32_t num_cpus) : queues_(num_cpus) {}
+
+  /// Enqueue a task on its current CPU's run queue.
+  void add(Task& task);
+  void remove(const Task& task);
+
+  /// Next runnable task on `cpu` in round-robin order, or nullptr.
+  Task* pick_next(std::uint32_t cpu);
+
+  /// Move a task to another CPU's queue (sched_setaffinity).
+  void migrate(Task& task, std::uint32_t cpu);
+
+  std::size_t runnable_on(std::uint32_t cpu) const;
+
+ private:
+  std::vector<std::vector<Task*>> queues_;  ///< Per-CPU run queues.
+  std::vector<std::size_t> cursor_ = std::vector<std::size_t>(queues_.size());
+};
+
+}  // namespace explframe::kernel

@@ -1,0 +1,190 @@
+#include "kernel/system.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace explframe::kernel {
+
+const char* to_string(TaskState state) noexcept {
+  switch (state) {
+    case TaskState::kRunnable:
+      return "runnable";
+    case TaskState::kSleeping:
+      return "sleeping";
+    case TaskState::kExited:
+      return "exited";
+  }
+  return "?";
+}
+
+System::System(const SystemConfig& config) : config_(config) {
+  dram_ = std::make_unique<dram::DramDevice>(
+      dram::Geometry::with_capacity(config.memory_bytes), config.dram,
+      config.seed);
+  mm::AllocatorConfig ac;
+  ac.total_bytes = config.memory_bytes;
+  ac.num_cpus = config.num_cpus;
+  ac.pcp = config.pcp;
+  alloc_ = std::make_unique<mm::PageAllocator>(ac);
+}
+
+vm::FrameClient System::table_frame_client(std::int32_t task_id,
+                                           std::uint32_t spawn_cpu) {
+  if (!config_.charge_page_tables) return {};
+  return vm::FrameClient{
+      // Page-table pages are kernel order-0 allocations on the faulting
+      // task's current CPU — they travel through the same pcp cache as
+      // user data pages. During spawn (before the task is registered) the
+      // spawn CPU is used.
+      [this, task_id, spawn_cpu]() -> mm::Pfn {
+        Task* task = find_task(task_id);
+        const std::uint32_t cpu = task ? task->cpu() : spawn_cpu;
+        const auto a =
+            alloc_->alloc_pages(0, mm::GfpFlags::kernel(), cpu, task_id);
+        if (!a) return mm::kInvalidPfn;
+        ++stats_.table_frames;
+        return a->pfn;
+      },
+      [this, task_id, spawn_cpu](mm::Pfn pfn) {
+        Task* task = find_task(task_id);
+        const std::uint32_t cpu = task ? task->cpu() : spawn_cpu;
+        alloc_->free_pages(pfn, 0, cpu);
+        --stats_.table_frames;
+      }};
+}
+
+Task& System::spawn(const std::string& name, std::uint32_t cpu) {
+  EXPLFRAME_CHECK(cpu < config_.num_cpus);
+  const std::int32_t id = next_task_id_++;
+  tasks_.push_back(
+      std::make_unique<Task>(id, name, cpu, table_frame_client(id, cpu)));
+  EXPLFRAME_LOG_DEBUG("spawn task ", id, " '", name, "' on cpu ", cpu);
+  return *tasks_.back();
+}
+
+Task* System::find_task(std::int32_t id) {
+  for (auto& t : tasks_)
+    if (t->id() == id && t->state() != TaskState::kExited) return t.get();
+  return nullptr;
+}
+
+void System::exit_task(Task& task) {
+  const std::uint32_t cpu = task.cpu();
+  task.space().release_all(
+      [this, cpu](mm::Pfn pfn) { alloc_->free_pages(pfn, 0, cpu); });
+  task.set_state(TaskState::kExited);
+}
+
+vm::VirtAddr System::sys_mmap(Task& task, std::uint64_t length) {
+  return task.space().mmap(length);
+}
+
+bool System::sys_munmap(Task& task, vm::VirtAddr addr, std::uint64_t length) {
+  const std::uint32_t cpu = task.cpu();
+  return task.space().munmap(addr, length, [this, cpu](mm::Pfn pfn) {
+    // The freed frame lands at the hot head of this CPU's page frame cache.
+    alloc_->free_pages(pfn, 0, cpu);
+  });
+}
+
+vm::PagemapEntry System::sys_pagemap(Task& task, vm::VirtAddr va,
+                                     bool cap_sys_admin) const {
+  return vm::pagemap_read(task.space(), va, cap_sys_admin);
+}
+
+mm::Pfn System::alloc_user_frame(Task& task) {
+  const auto a =
+      alloc_->alloc_pages(0, mm::GfpFlags::user(), task.cpu(), task.id());
+  if (!a) return mm::kInvalidPfn;
+  if (config_.zero_on_alloc) {
+    dram_->fill(static_cast<dram::PhysAddr>(a->pfn) * kPageSize, 0, kPageSize);
+  }
+  return a->pfn;
+}
+
+bool System::handle_fault(Task& task, vm::VirtAddr page_va) {
+  if (!task.space().valid(page_va)) return false;  // SIGSEGV
+  // As in Linux's do_anonymous_page: the page-table path is allocated
+  // (pte_alloc) before the data page itself.
+  if (!task.space().page_table().prepare(page_va)) {
+    ++stats_.oom_kills;
+    return false;
+  }
+  const mm::Pfn pfn = alloc_user_frame(task);
+  if (pfn == mm::kInvalidPfn) {
+    ++stats_.oom_kills;
+    return false;
+  }
+  EXPLFRAME_CHECK(task.space().page_table().map(page_va, pfn));
+  ++stats_.page_faults;
+  ++task.space().counters().minor_faults;
+  return true;
+}
+
+bool System::touch(Task& task, vm::VirtAddr va) {
+  const vm::VirtAddr page = va & ~vm::VirtAddr{kPageSize - 1};
+  if (task.space().page_table().find(page) != nullptr) return true;
+  return handle_fault(task, page);
+}
+
+bool System::mem_write(Task& task, vm::VirtAddr va,
+                       std::span<const std::uint8_t> in) {
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const vm::VirtAddr cur = va + done;
+    const vm::VirtAddr page = cur & ~vm::VirtAddr{kPageSize - 1};
+    if (!touch(task, cur)) return false;
+    const vm::Pte* pte = task.space().page_table().find(page);
+    EXPLFRAME_CHECK(pte != nullptr);
+    const std::size_t off = cur - page;
+    const std::size_t chunk = std::min(in.size() - done, kPageSize - off);
+    dram_->write(static_cast<dram::PhysAddr>(pte->pfn) * kPageSize + off,
+                 in.subspan(done, chunk));
+    done += chunk;
+  }
+  return true;
+}
+
+bool System::mem_read(Task& task, vm::VirtAddr va,
+                      std::span<std::uint8_t> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const vm::VirtAddr cur = va + done;
+    const vm::VirtAddr page = cur & ~vm::VirtAddr{kPageSize - 1};
+    if (!touch(task, cur)) return false;
+    const vm::Pte* pte = task.space().page_table().find(page);
+    EXPLFRAME_CHECK(pte != nullptr);
+    const std::size_t off = cur - page;
+    const std::size_t chunk = std::min(out.size() - done, kPageSize - off);
+    dram_->read(static_cast<dram::PhysAddr>(pte->pfn) * kPageSize + off,
+                out.subspan(done, chunk));
+    done += chunk;
+  }
+  return true;
+}
+
+SimTime System::uncached_access(Task& task, vm::VirtAddr va) {
+  if (!touch(task, va)) return 0;
+  const vm::VirtAddr page = va & ~vm::VirtAddr{kPageSize - 1};
+  const vm::Pte* pte = task.space().page_table().find(page);
+  EXPLFRAME_CHECK(pte != nullptr);
+  return dram_->access(static_cast<dram::PhysAddr>(pte->pfn) * kPageSize +
+                       (va - page));
+}
+
+mm::Pfn System::translate(const Task& task, vm::VirtAddr va) const {
+  const vm::VirtAddr page = va & ~vm::VirtAddr{kPageSize - 1};
+  const vm::Pte* pte = task.space().page_table().find(page);
+  return pte ? pte->pfn : mm::kInvalidPfn;
+}
+
+dram::PhysAddr System::phys_of(const Task& task, vm::VirtAddr va) const {
+  const mm::Pfn pfn = translate(task, va);
+  EXPLFRAME_CHECK_MSG(pfn != mm::kInvalidPfn, "phys_of on unmapped va");
+  return static_cast<dram::PhysAddr>(pfn) * kPageSize +
+         (va & (kPageSize - 1));
+}
+
+}  // namespace explframe::kernel

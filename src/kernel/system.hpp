@@ -1,0 +1,105 @@
+// The simulated machine: DRAM device + zoned page allocator + tasks, with
+// the syscall-level operations the attack story is written in (mmap, munmap,
+// memory access, uncached access, pagemap).
+//
+// Demand paging is the linchpin: mmap only reserves virtual space; the
+// physical frame is allocated on first touch, on the CPU the faulting task
+// runs on, through that CPU's page frame cache — which is exactly the
+// machinery §V of the paper exploits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dram/dram_device.hpp"
+#include "mm/page_allocator.hpp"
+#include "kernel/task.hpp"
+#include "vm/pagemap.hpp"
+
+namespace explframe::kernel {
+
+struct SystemConfig {
+  std::uint64_t memory_bytes = 256 * kMiB;
+  std::uint32_t num_cpus = 2;
+  mm::PcpConfig pcp;
+  dram::DeviceParams dram;
+  std::uint64_t seed = 1;
+  /// Zero user pages on allocation (Linux __GFP_ZERO for anon memory).
+  bool zero_on_alloc = true;
+  /// Charge page-table node pages to the allocator (realistic; see EXP-A1).
+  bool charge_page_tables = true;
+};
+
+struct SystemStats {
+  std::uint64_t page_faults = 0;
+  std::uint64_t oom_kills = 0;
+  std::uint64_t table_frames = 0;
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& config);
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // ---- Process management -----------------------------------------------
+  Task& spawn(const std::string& name, std::uint32_t cpu);
+  /// Free all of the task's pages (exit). Frees go through the pcp cache of
+  /// the CPU the task exits on, as in Linux.
+  void exit_task(Task& task);
+  Task* find_task(std::int32_t id);
+
+  // ---- Syscalls ----------------------------------------------------------
+  vm::VirtAddr sys_mmap(Task& task, std::uint64_t length);
+  bool sys_munmap(Task& task, vm::VirtAddr addr, std::uint64_t length);
+  vm::PagemapEntry sys_pagemap(Task& task, vm::VirtAddr va,
+                               bool cap_sys_admin) const;
+
+  // ---- Memory access (cached data path) ----------------------------------
+  /// Copy to/from the task's memory; demand-faults absent pages. Returns
+  /// false on an invalid access (segfault) or allocation failure (OOM).
+  bool mem_write(Task& task, vm::VirtAddr va, std::span<const std::uint8_t> in);
+  bool mem_read(Task& task, vm::VirtAddr va, std::span<std::uint8_t> out);
+  bool touch(Task& task, vm::VirtAddr va);  ///< Fault one page in.
+
+  // ---- Uncached access (timing/hammer path) -------------------------------
+  /// One flush+load of `va`: activates the DRAM row and returns the latency.
+  /// Returns 0 on invalid access.
+  SimTime uncached_access(Task& task, vm::VirtAddr va);
+
+  // ---- Kernel-side introspection (harness ground truth, not attack API) ---
+  /// Current translation, or kInvalidPfn if not present. Does not fault.
+  mm::Pfn translate(const Task& task, vm::VirtAddr va) const;
+  dram::PhysAddr phys_of(const Task& task, vm::VirtAddr va) const;
+
+  dram::DramDevice& dram() noexcept { return *dram_; }
+  const dram::DramDevice& dram() const noexcept { return *dram_; }
+  mm::PageAllocator& allocator() noexcept { return *alloc_; }
+  const mm::PageAllocator& allocator() const noexcept { return *alloc_; }
+  const SystemConfig& config() const noexcept { return config_; }
+  const SystemStats& stats() const noexcept { return stats_; }
+  std::uint32_t num_cpus() const noexcept { return config_.num_cpus; }
+
+  SimTime now() const noexcept { return dram_->now(); }
+  void idle(SimTime duration) { dram_->idle(duration); }
+
+ private:
+  bool handle_fault(Task& task, vm::VirtAddr page_va);
+  mm::Pfn alloc_user_frame(Task& task);
+  vm::FrameClient table_frame_client(std::int32_t task_id,
+                                     std::uint32_t spawn_cpu);
+
+  SystemConfig config_;
+  std::unique_ptr<dram::DramDevice> dram_;
+  std::unique_ptr<mm::PageAllocator> alloc_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  SystemStats stats_;
+  std::int32_t next_task_id_ = 1;
+};
+
+}  // namespace explframe::kernel

@@ -1,0 +1,89 @@
+// Binary buddy allocator — the core physical page allocator of one zone
+// (Linux's `free_area[]` / `__rmqueue` / `__free_one_page`).
+//
+// Blocks are 2^order pages, order 0..kMaxOrder-1. Allocation splits the
+// smallest sufficient free block; freeing greedily coalesces with the buddy
+// block (address XOR (1 << order)) while possible — exactly the mechanism in
+// Fig. 1 of the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "mm/page.hpp"
+
+namespace explframe::mm {
+
+struct BuddyStats {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t splits = 0;     ///< Block split events (Fig. 1 left-to-right).
+  std::uint64_t coalesces = 0;  ///< Buddy merge events (Fig. 1 right-to-left).
+  std::uint64_t failed = 0;
+};
+
+/// One step of the split path taken by an allocation, for the Fig. 1
+/// reproduction: "took a block of `from_order`, split down to `to_order`".
+struct SplitTraceEntry {
+  Pfn block = kInvalidPfn;
+  std::uint32_t from_order = 0;
+  std::uint32_t to_order = 0;
+};
+
+class BuddyAllocator {
+ public:
+  /// Manages pfns [start_pfn, start_pfn + pages). `pages` need not be a
+  /// power of two; the range is tiled greedily with maximal aligned blocks.
+  BuddyAllocator(PageFrameDatabase& db, Pfn start_pfn, std::uint64_t pages,
+                 std::uint8_t zone_index);
+
+  BuddyAllocator(const BuddyAllocator&) = delete;
+  BuddyAllocator& operator=(const BuddyAllocator&) = delete;
+  BuddyAllocator(BuddyAllocator&&) = default;
+
+  /// Allocate a 2^order block. Returns kInvalidPfn on failure. If `trace`
+  /// is non-null the split path is appended to it.
+  Pfn alloc_block(std::uint32_t order,
+                  std::vector<SplitTraceEntry>* trace = nullptr);
+
+  /// Free a 2^order block previously returned by alloc_block.
+  void free_block(Pfn pfn, std::uint32_t order);
+
+  std::uint64_t free_pages() const noexcept { return free_pages_; }
+  std::uint64_t free_blocks(std::uint32_t order) const;
+  const BuddyStats& stats() const noexcept { return stats_; }
+
+  Pfn start_pfn() const noexcept { return start_; }
+  std::uint64_t managed_pages() const noexcept { return pages_; }
+
+  /// /proc/buddyinfo-style row: free block count per order.
+  std::array<std::uint64_t, kMaxOrder> buddyinfo() const;
+
+  /// Exhaustive consistency check (tests): free lists vs page states, no
+  /// overlapping blocks, free page accounting. Aborts on violation.
+  void verify() const;
+
+ private:
+  Pfn buddy_of(Pfn rel, std::uint32_t order) const noexcept {
+    return rel ^ (Pfn{1} << order);
+  }
+  void insert_free(Pfn rel, std::uint32_t order);
+  void remove_free(Pfn rel, std::uint32_t order);
+  void mark_allocated(Pfn rel, std::uint32_t order);
+
+  PageFrameDatabase* db_;
+  Pfn start_;
+  std::uint64_t pages_;
+  std::uint8_t zone_index_;
+  // Zone-relative pfns of free block heads, ordered by address. Linux uses
+  // FIFO/LIFO lists; address order is deterministic and makes the split
+  // traces stable across runs (the pcp cache, not buddy order, carries the
+  // paper's exploit).
+  std::array<std::set<Pfn>, kMaxOrder> free_lists_;
+  std::uint64_t free_pages_ = 0;
+  BuddyStats stats_;
+};
+
+}  // namespace explframe::mm

@@ -1,0 +1,34 @@
+// Allocation modifier flags — the subset of Linux GFP semantics the
+// simulation distinguishes.
+#pragma once
+
+#include <cstdint>
+
+namespace explframe::mm {
+
+enum class GfpZonePreference : std::uint8_t {
+  kNormal,    ///< GFP_KERNEL: NORMAL -> (DMA32) -> DMA; never HIGHMEM.
+  kHighUser,  ///< GFP_HIGHUSER: user pages; on 32-bit starts at HIGHMEM,
+              ///< on 64-bit identical to kNormal (no HIGHMEM zone).
+  kDma32,     ///< GFP_DMA32: DMA32 -> DMA.
+  kDma,       ///< GFP_DMA: DMA only.
+};
+
+struct GfpFlags {
+  GfpZonePreference zone = GfpZonePreference::kNormal;
+  /// Cold allocation: take from the tail of the per-CPU cache (page-cache
+  /// readahead style) instead of the hot head.
+  bool cold = false;
+  /// Atomic allocation: may dip below the min watermark, never falls back to
+  /// reclaim (which the simulation models as failure).
+  bool atomic = false;
+
+  static GfpFlags kernel() { return {}; }
+  static GfpFlags user() {
+    return {GfpZonePreference::kHighUser, false, false};
+  }
+  static GfpFlags dma() { return {GfpZonePreference::kDma, false, false}; }
+  static GfpFlags dma32() { return {GfpZonePreference::kDma32, false, false}; }
+};
+
+}  // namespace explframe::mm

@@ -1,0 +1,58 @@
+#include "mm/pcp.hpp"
+
+#include "support/check.hpp"
+
+namespace explframe::mm {
+
+Pfn PerCpuPageCache::take(bool cold) {
+  EXPLFRAME_CHECK(!pages_.empty());
+  Pfn pfn;
+  // Hot allocations always come from the front; in LIFO mode that is where
+  // hot frees land (Linux), in FIFO mode it is the oldest entry.
+  const bool from_front = !cold;
+  if (from_front) {
+    pfn = pages_.front();
+    pages_.pop_front();
+  } else {
+    pfn = pages_.back();
+    pages_.pop_back();
+  }
+  ++stats_.alloc_hits;
+  return pfn;
+}
+
+bool PerCpuPageCache::put(Pfn pfn, bool cold) {
+  const bool to_front = config_.lifo ? !cold : cold;
+  if (to_front) {
+    pages_.push_front(pfn);
+  } else {
+    pages_.push_back(pfn);
+  }
+  ++stats_.frees;
+  return pages_.size() > config_.high;
+}
+
+std::vector<Pfn> PerCpuPageCache::pop_cold(std::uint32_t n) {
+  std::vector<Pfn> out;
+  out.reserve(n);
+  while (n-- != 0 && !pages_.empty()) {
+    out.push_back(pages_.back());
+    pages_.pop_back();
+  }
+  if (!out.empty()) {
+    ++stats_.drains;
+    stats_.drained_pages += out.size();
+  }
+  return out;
+}
+
+void PerCpuPageCache::refill(const std::vector<Pfn>& pfns) {
+  for (const Pfn p : pfns) pages_.push_back(p);
+  if (!pfns.empty()) ++stats_.refills;
+}
+
+std::vector<Pfn> PerCpuPageCache::peek() const {
+  return {pages_.begin(), pages_.end()};
+}
+
+}  // namespace explframe::mm

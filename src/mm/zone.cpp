@@ -1,0 +1,63 @@
+#include "mm/zone.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace explframe::mm {
+
+const char* to_string(ZoneType type) noexcept {
+  switch (type) {
+    case ZoneType::kDma:
+      return "DMA";
+    case ZoneType::kDma32:
+      return "DMA32";
+    case ZoneType::kNormal:
+      return "Normal";
+    case ZoneType::kHighMem:
+      return "HighMem";
+  }
+  return "?";
+}
+
+Watermarks Watermarks::for_zone_pages(std::uint64_t pages) {
+  // Linux derives these from min_free_kbytes ~ 4*sqrt(lowmem_kb); the shape
+  // that matters here is min << zone size with low/high at 125%/150%.
+  Watermarks w;
+  w.min = std::max<std::uint64_t>(8, pages / 256);
+  w.low = w.min + w.min / 4;
+  w.high = w.min + w.min / 2;
+  return w;
+}
+
+Zone::Zone(ZoneType type, std::uint8_t index, PageFrameDatabase& db,
+           Pfn start_pfn, std::uint64_t pages, std::uint32_t num_cpus,
+           const PcpConfig& pcp_cfg)
+    : type_(type),
+      index_(index),
+      buddy_(db, start_pfn, pages, index),
+      marks_(Watermarks::for_zone_pages(pages)) {
+  EXPLFRAME_CHECK(num_cpus > 0);
+  pcp_.reserve(num_cpus);
+  for (std::uint32_t c = 0; c < num_cpus; ++c) pcp_.emplace_back(pcp_cfg);
+}
+
+PerCpuPageCache& Zone::pcp(std::uint32_t cpu) {
+  EXPLFRAME_CHECK(cpu < pcp_.size());
+  return pcp_[cpu];
+}
+
+const PerCpuPageCache& Zone::pcp(std::uint32_t cpu) const {
+  EXPLFRAME_CHECK(cpu < pcp_.size());
+  return pcp_[cpu];
+}
+
+std::uint64_t Zone::pcp_pages() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& cache : pcp_) total += cache.count();
+  return total;
+}
+
+std::string Zone::name() const { return to_string(type_); }
+
+}  // namespace explframe::mm

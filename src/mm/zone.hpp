@@ -1,0 +1,79 @@
+// Memory zones (ZONE_DMA / ZONE_DMA32 / ZONE_NORMAL) and their watermarks —
+// the x86-64 layout described in §III of the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mm/buddy.hpp"
+#include "mm/pcp.hpp"
+
+namespace explframe::mm {
+
+/// Ordered low to high; zonelists fall back downward through this order.
+/// kHighMem exists only on 32-bit machines (paper §III).
+enum class ZoneType : std::uint8_t {
+  kDma = 0,
+  kDma32 = 1,
+  kNormal = 2,
+  kHighMem = 3,
+};
+
+const char* to_string(ZoneType type) noexcept;
+
+/// Allocation-pressure thresholds, in pages (Linux's min/low/high marks).
+struct Watermarks {
+  std::uint64_t min = 0;
+  std::uint64_t low = 0;
+  std::uint64_t high = 0;
+
+  static Watermarks for_zone_pages(std::uint64_t pages);
+};
+
+/// One zone: a pfn range, its buddy allocator, one page-frame cache per CPU
+/// (the paper's "page frame cache is maintained for each CPU inside each
+/// zone"), and watermarks.
+class Zone {
+ public:
+  Zone(ZoneType type, std::uint8_t index, PageFrameDatabase& db, Pfn start_pfn,
+       std::uint64_t pages, std::uint32_t num_cpus, const PcpConfig& pcp_cfg);
+
+  ZoneType type() const noexcept { return type_; }
+  std::uint8_t index() const noexcept { return index_; }
+  Pfn start_pfn() const noexcept { return buddy_.start_pfn(); }
+  std::uint64_t pages() const noexcept { return buddy_.managed_pages(); }
+  Pfn end_pfn() const noexcept { return start_pfn() + pages(); }
+  bool contains(Pfn pfn) const noexcept {
+    return pfn >= start_pfn() && pfn < end_pfn();
+  }
+
+  BuddyAllocator& buddy() noexcept { return buddy_; }
+  const BuddyAllocator& buddy() const noexcept { return buddy_; }
+  PerCpuPageCache& pcp(std::uint32_t cpu);
+  const PerCpuPageCache& pcp(std::uint32_t cpu) const;
+  std::uint32_t num_cpus() const noexcept {
+    return static_cast<std::uint32_t>(pcp_.size());
+  }
+
+  const Watermarks& watermarks() const noexcept { return marks_; }
+
+  /// Pages free in the buddy lists (pcp-cached pages are *not* free from the
+  /// zone's perspective, matching NR_FREE_PAGES accounting).
+  std::uint64_t free_pages() const noexcept { return buddy_.free_pages(); }
+
+  /// Pages currently parked across all per-CPU caches.
+  std::uint64_t pcp_pages() const noexcept;
+
+  std::string name() const;
+
+ private:
+  ZoneType type_;
+  std::uint8_t index_;
+  BuddyAllocator buddy_;
+  std::vector<PerCpuPageCache> pcp_;
+  Watermarks marks_;
+};
+
+}  // namespace explframe::mm

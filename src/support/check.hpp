@@ -1,0 +1,32 @@
+// Internal invariant checking. These fire in all build types: the library
+// models a kernel subsystem, and a silently-corrupt free list would
+// invalidate every experiment downstream.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace explframe::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "explframe: invariant violated: %s at %s:%d%s%s\n",
+               expr, file, line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace explframe::detail
+
+#define EXPLFRAME_CHECK(expr)                                               \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::explframe::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                       \
+  } while (0)
+
+#define EXPLFRAME_CHECK_MSG(expr, msg)                                   \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::explframe::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                                    \
+  } while (0)

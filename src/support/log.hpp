@@ -1,0 +1,36 @@
+// Minimal leveled logger. Default level is Warn so library internals stay
+// quiet under tests/benches; examples raise it to Info/Debug to narrate the
+// attack timeline.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace explframe {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Ts>
+void log_fmt(LogLevel level, const Ts&... parts) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << parts);
+  log_message(level, os.str());
+}
+}  // namespace detail
+
+}  // namespace explframe
+
+#define EXPLFRAME_LOG_DEBUG(...) \
+  ::explframe::detail::log_fmt(::explframe::LogLevel::kDebug, __VA_ARGS__)
+#define EXPLFRAME_LOG_INFO(...) \
+  ::explframe::detail::log_fmt(::explframe::LogLevel::kInfo, __VA_ARGS__)
+#define EXPLFRAME_LOG_WARN(...) \
+  ::explframe::detail::log_fmt(::explframe::LogLevel::kWarn, __VA_ARGS__)
+#define EXPLFRAME_LOG_ERROR(...) \
+  ::explframe::detail::log_fmt(::explframe::LogLevel::kError, __VA_ARGS__)

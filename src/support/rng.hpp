@@ -1,0 +1,176 @@
+// Deterministic random number generation for the whole simulation.
+//
+// Every stochastic component (weak-cell placement, scheduler jitter, workload
+// noise, plaintext generation) pulls from an explframe::Rng that was seeded
+// from a single experiment seed, so any run is exactly reproducible from
+// (code version, seed).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace explframe {
+
+/// SplitMix64 — used only to expand a user seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high quality, tiny state —
+/// well suited to a simulator that draws billions of variates.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Uses Lemire's multiply-shift rejection method.
+  std::uint64_t uniform(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    // 128-bit multiply rejection sampling; bias-free.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept {
+    if (have_spare_) {
+      have_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * uniform01() - 1.0;
+      v = 2.0 * uniform01() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = sqrt_impl(-2.0 * log_impl(s) / s);
+    spare_ = v * factor;
+    have_spare_ = true;
+    return mean + stddev * u * factor;
+  }
+
+  /// Geometric: number of Bernoulli(p) failures before the first success.
+  std::uint64_t geometric(double p) noexcept {
+    if (p >= 1.0) return 0;
+    std::uint64_t n = 0;
+    while (!bernoulli(p)) ++n;
+    return n;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = uniform(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    shuffle(std::span<T>(items));
+  }
+
+  /// Pick a uniformly random element (container must be non-empty).
+  template <typename Container>
+  auto& pick(Container& c) noexcept {
+    return c[uniform(c.size())];
+  }
+
+  void fill_bytes(std::span<std::uint8_t> out) noexcept {
+    std::size_t i = 0;
+    while (i + 8 <= out.size()) {
+      const std::uint64_t v = next();
+      for (int b = 0; b < 8; ++b)
+        out[i + static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>(v >> (8 * b));
+      i += 8;
+    }
+    if (i < out.size()) {
+      const std::uint64_t v = next();
+      for (int b = 0; b < 8 && i < out.size(); ++i, ++b)
+        out[i] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+  }
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng fork() noexcept { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  // Local wrappers keep <cmath> out of this hot header's interface.
+  static double sqrt_impl(double x) noexcept;
+  static double log_impl(double x) noexcept;
+
+  std::uint64_t state_[4]{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace explframe

@@ -1,0 +1,55 @@
+// ASCII table printer. Every experiment harness emits its results through
+// this so bench output lines up with the tables in EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace explframe {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  Table(std::initializer_list<std::string> headers);
+
+  /// Append one row; row size must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format heterogeneous cells.
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    add_row({to_cell(cells)...});
+  }
+
+  std::string render() const;
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  // Cell formatting helpers (public so harnesses can reuse them).
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  static std::string to_cell(std::size_t v);
+  static std::string to_cell(int v);
+  static std::string to_cell(long v);
+  static std::string to_cell(unsigned v);
+  static std::string to_cell(long long v);
+  static std::string to_cell(unsigned long long v);
+  static std::string to_cell(bool v);
+
+  /// "p [lo, hi]" rendering for success-rate cells.
+  static std::string percent(double p, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner used to delimit experiments in bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace explframe

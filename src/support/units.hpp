@@ -1,0 +1,30 @@
+// Size and time unit helpers shared across the simulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace explframe {
+
+inline constexpr std::size_t kKiB = 1024;
+inline constexpr std::size_t kMiB = 1024 * kKiB;
+inline constexpr std::size_t kGiB = 1024 * kMiB;
+
+/// Page size used throughout the simulated machine (x86-64 base page).
+inline constexpr std::size_t kPageSize = 4096;
+inline constexpr std::size_t kPageShift = 12;
+
+/// Simulated time is kept in nanoseconds.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Bytes -> number of base pages, rounding up.
+constexpr std::size_t bytes_to_pages(std::size_t bytes) noexcept {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+
+}  // namespace explframe

@@ -1,0 +1,71 @@
+// Per-task virtual address space: VMA list + page table + demand-paging
+// hooks. The frame-allocation policy itself lives in kernel::System; this
+// class owns the virtual-address bookkeeping (mmap/munmap semantics).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "vm/page_table.hpp"
+
+namespace explframe::vm {
+
+/// One mapped region [start, end), anonymous private memory.
+struct Vma {
+  VirtAddr start = 0;
+  VirtAddr end = 0;  ///< Exclusive, page aligned.
+
+  std::uint64_t pages() const noexcept { return (end - start) / kPageSize; }
+  bool contains(VirtAddr va) const noexcept { return va >= start && va < end; }
+};
+
+struct VmCounters {
+  std::uint64_t minor_faults = 0;
+  std::uint64_t mmap_calls = 0;
+  std::uint64_t munmap_calls = 0;
+  std::uint64_t mapped_peak = 0;
+};
+
+class AddressSpace {
+ public:
+  /// mmap region grows upward from here (x86-64 userspace mmap base).
+  static constexpr VirtAddr kMmapBase = 0x7f00'0000'0000ULL;
+
+  explicit AddressSpace(FrameClient table_frames = {});
+
+  /// Reserve `length` bytes (rounded up to pages) of anonymous memory.
+  /// No physical frames are allocated until first touch — the property the
+  /// paper highlights ("the program must store some data into the allocated
+  /// pages, otherwise the physical page frames will not be allocated").
+  VirtAddr mmap(std::uint64_t length);
+
+  /// Unmap [addr, addr+length). Present pages are returned through
+  /// `release`; VMAs are split/trimmed as needed. Returns false if the
+  /// range intersects no VMA.
+  bool munmap(VirtAddr addr, std::uint64_t length,
+              const std::function<void(mm::Pfn)>& release);
+
+  /// True if va lies inside some VMA (i.e. access is legal).
+  bool valid(VirtAddr va) const;
+
+  PageTable& page_table() noexcept { return table_; }
+  const PageTable& page_table() const noexcept { return table_; }
+
+  const std::map<VirtAddr, Vma>& vmas() const noexcept { return vmas_; }
+  VmCounters& counters() noexcept { return counters_; }
+  const VmCounters& counters() const noexcept { return counters_; }
+
+  /// Release every mapped page (process exit).
+  void release_all(const std::function<void(mm::Pfn)>& release);
+
+ private:
+  std::map<VirtAddr, Vma> vmas_;  ///< Keyed by start address.
+  PageTable table_;
+  VirtAddr mmap_cursor_ = kMmapBase;
+  VmCounters counters_;
+};
+
+}  // namespace explframe::vm

@@ -1,0 +1,163 @@
+#include "vm/page_table.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace explframe::vm {
+
+namespace {
+constexpr std::uint32_t kFanout = 1u << kLevelBits;  // 512
+}
+
+/// Leaf (level 0) nodes store Ptes; interior nodes store children.
+struct PageTable::Node {
+  std::array<std::unique_ptr<Node>, kFanout> children{};
+  std::array<Pte, kFanout> ptes{};
+  std::array<bool, kFanout> present{};
+  std::uint32_t used = 0;            ///< Occupied slots (children or ptes).
+  mm::Pfn frame = mm::kInvalidPfn;   ///< Physical frame charged to this node.
+};
+
+PageTable::PageTable(FrameClient client) : client_(std::move(client)) {
+  root_ = std::make_unique<Node>();
+  ++nodes_;
+  if (client_.alloc) root_->frame = client_.alloc();
+}
+
+PageTable::~PageTable() {
+  // Free data mappings first so table-node frames are released last.
+  if (root_) release_node(root_.get());
+}
+
+void PageTable::release_node(Node* node) {
+  for (auto& child : node->children) {
+    if (child) release_node(child.get());
+    child.reset();
+  }
+  if (client_.free && node->frame != mm::kInvalidPfn) {
+    client_.free(node->frame);
+    node->frame = mm::kInvalidPfn;
+  }
+}
+
+std::uint32_t PageTable::index_at(VirtAddr vaddr,
+                                  std::uint32_t level) noexcept {
+  // level 3 = PGD (bits 47:39) ... level 0 = PTE (bits 20:12).
+  const std::uint32_t shift =
+      static_cast<std::uint32_t>(kPageShift) + kLevelBits * level;
+  return static_cast<std::uint32_t>((vaddr >> shift) & (kFanout - 1));
+}
+
+PageTable::Node* PageTable::ensure_child(Node& parent, std::uint32_t slot) {
+  if (!parent.children[slot]) {
+    auto node = std::make_unique<Node>();
+    if (client_.alloc) {
+      node->frame = client_.alloc();
+      if (node->frame == mm::kInvalidPfn) return nullptr;
+    }
+    parent.children[slot] = std::move(node);
+    ++parent.used;
+    ++nodes_;
+  }
+  return parent.children[slot].get();
+}
+
+bool PageTable::prepare(VirtAddr vaddr) {
+  EXPLFRAME_CHECK(vaddr < (VirtAddr{1} << kVaBits));
+  Node* node = root_.get();
+  for (std::uint32_t level = kLevels - 1; level >= 1; --level) {
+    node = ensure_child(*node, index_at(vaddr, level));
+    if (node == nullptr) return false;
+  }
+  return true;
+}
+
+bool PageTable::map(VirtAddr vaddr, mm::Pfn pfn, bool writable) {
+  EXPLFRAME_CHECK_MSG((vaddr & (kPageSize - 1)) == 0, "unaligned map");
+  EXPLFRAME_CHECK(vaddr < (VirtAddr{1} << kVaBits));
+  Node* node = root_.get();
+  for (std::uint32_t level = kLevels - 1; level >= 1; --level) {
+    node = ensure_child(*node, index_at(vaddr, level));
+    if (node == nullptr) return false;
+  }
+  const std::uint32_t slot = index_at(vaddr, 0);
+  EXPLFRAME_CHECK_MSG(!node->present[slot], "double map");
+  node->ptes[slot] = Pte{pfn, writable, false, false};
+  node->present[slot] = true;
+  ++node->used;
+  ++mapped_;
+  return true;
+}
+
+std::optional<mm::Pfn> PageTable::unmap(VirtAddr vaddr) {
+  EXPLFRAME_CHECK_MSG((vaddr & (kPageSize - 1)) == 0, "unaligned unmap");
+  // Walk down, remembering the path so empty nodes can be pruned.
+  Node* path[kLevels] = {};
+  std::uint32_t slots[kLevels] = {};
+  Node* node = root_.get();
+  for (std::uint32_t level = kLevels - 1; level >= 1; --level) {
+    path[level] = node;
+    slots[level] = index_at(vaddr, level);
+    node = node->children[slots[level]].get();
+    if (node == nullptr) return std::nullopt;
+  }
+  const std::uint32_t slot = index_at(vaddr, 0);
+  if (!node->present[slot]) return std::nullopt;
+  const mm::Pfn pfn = node->ptes[slot].pfn;
+  node->present[slot] = false;
+  node->ptes[slot] = Pte{};
+  --node->used;
+  --mapped_;
+
+  // Prune empty table nodes bottom-up (frees their frames).
+  Node* child = node;
+  for (std::uint32_t level = 1; level < kLevels && child->used == 0; ++level) {
+    Node* parent = path[level];
+    if (client_.free && child->frame != mm::kInvalidPfn) {
+      client_.free(child->frame);
+      child->frame = mm::kInvalidPfn;
+    }
+    parent->children[slots[level]].reset();
+    --parent->used;
+    --nodes_;
+    child = parent;
+  }
+  return pfn;
+}
+
+const Pte* PageTable::find(VirtAddr vaddr) const {
+  const Node* node = root_.get();
+  for (std::uint32_t level = kLevels - 1; level >= 1; --level) {
+    node = node->children[index_at(vaddr, level)].get();
+    if (node == nullptr) return nullptr;
+  }
+  const std::uint32_t slot = index_at(vaddr, 0);
+  return node->present[slot] ? &node->ptes[slot] : nullptr;
+}
+
+Pte* PageTable::find(VirtAddr vaddr) {
+  return const_cast<Pte*>(std::as_const(*this).find(vaddr));
+}
+
+void PageTable::for_each_rec(
+    const Node& node, std::uint32_t level, VirtAddr base,
+    const std::function<void(VirtAddr, const Pte&)>& fn) const {
+  const std::uint32_t shift =
+      static_cast<std::uint32_t>(kPageShift) + kLevelBits * level;
+  for (std::uint32_t i = 0; i < kFanout; ++i) {
+    const VirtAddr va = base + (static_cast<VirtAddr>(i) << shift);
+    if (level == 0) {
+      if (node.present[i]) fn(va, node.ptes[i]);
+    } else if (node.children[i]) {
+      for_each_rec(*node.children[i], level - 1, va, fn);
+    }
+  }
+}
+
+void PageTable::for_each(
+    const std::function<void(VirtAddr, const Pte&)>& fn) const {
+  for_each_rec(*root_, kLevels - 1, 0, fn);
+}
+
+}  // namespace explframe::vm

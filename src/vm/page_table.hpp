@@ -1,0 +1,91 @@
+// Four-level x86-64-style page table (PGD -> PUD -> PMD -> PTE), 48-bit
+// virtual addresses, 4 KiB pages.
+//
+// Table nodes themselves consume physical page frames through a
+// FrameClient, because on real Linux the kernel's PTE-page allocations go
+// through the very same per-CPU page frame cache the attack manipulates —
+// a victim's first fault in a fresh region can consume the planted frame
+// for a page-table page instead of the data page (measured in EXP-A1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "mm/page.hpp"
+#include "support/units.hpp"
+
+namespace explframe::vm {
+
+using VirtAddr = std::uint64_t;
+
+inline constexpr std::uint32_t kVaBits = 48;
+inline constexpr std::uint32_t kLevelBits = 9;
+inline constexpr std::uint32_t kLevels = 4;
+
+/// Page table entry for a mapped 4 KiB page.
+struct Pte {
+  mm::Pfn pfn = mm::kInvalidPfn;
+  bool writable = true;
+  bool accessed = false;
+  bool dirty = false;
+};
+
+/// Supplies/reclaims the physical frames backing page-table nodes.
+/// `alloc` may return kInvalidPfn (allocation failure is propagated).
+struct FrameClient {
+  std::function<mm::Pfn()> alloc;
+  std::function<void(mm::Pfn)> free;
+};
+
+class PageTable {
+ public:
+  /// `client` may be null: nodes are then bookkept but not charged frames.
+  explicit PageTable(FrameClient client = {});
+  ~PageTable();
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  /// Allocate the intermediate table nodes covering vaddr without
+  /// installing a PTE. Linux's fault path does this (pte_alloc) *before*
+  /// allocating the data page — the ordering matters to the attack, because
+  /// a table node allocated mid-fault consumes the per-CPU cache head.
+  bool prepare(VirtAddr vaddr);
+
+  /// Map vaddr (page aligned) to pfn. Returns false if a needed table node
+  /// could not be charged a frame.
+  bool map(VirtAddr vaddr, mm::Pfn pfn, bool writable = true);
+
+  /// Remove the mapping; returns the pfn that was mapped, if any. Empty
+  /// intermediate nodes are freed (and their frames returned).
+  std::optional<mm::Pfn> unmap(VirtAddr vaddr);
+
+  /// Lookup without side effects.
+  const Pte* find(VirtAddr vaddr) const;
+  Pte* find(VirtAddr vaddr);
+
+  std::uint64_t mapped_pages() const noexcept { return mapped_; }
+  std::uint64_t table_nodes() const noexcept { return nodes_; }
+
+  /// Walk all mappings in ascending vaddr order.
+  void for_each(const std::function<void(VirtAddr, const Pte&)>& fn) const;
+
+ private:
+  struct Node;
+  struct Entry;
+
+  static std::uint32_t index_at(VirtAddr vaddr, std::uint32_t level) noexcept;
+  Node* ensure_child(Node& parent, std::uint32_t slot);
+  void release_node(Node* node);
+  void for_each_rec(const Node& node, std::uint32_t level, VirtAddr base,
+                    const std::function<void(VirtAddr, const Pte&)>& fn) const;
+
+  FrameClient client_;
+  std::unique_ptr<Node> root_;
+  std::uint64_t mapped_ = 0;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace explframe::vm

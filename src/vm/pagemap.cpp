@@ -1,0 +1,15 @@
+#include "vm/pagemap.hpp"
+
+namespace explframe::vm {
+
+PagemapEntry pagemap_read(const AddressSpace& space, VirtAddr va,
+                          bool cap_sys_admin) {
+  PagemapEntry entry;
+  const Pte* pte = space.page_table().find(va & ~VirtAddr{kPageSize - 1});
+  if (pte == nullptr) return entry;
+  entry.present = true;
+  entry.pfn = cap_sys_admin ? pte->pfn : 0;
+  return entry;
+}
+
+}  // namespace explframe::vm

@@ -1,0 +1,23 @@
+// The /proc/<pid>/pagemap interface with the Linux >= 4.0 policy the paper
+// relies on: "only users with the CAP_SYS_ADMIN capability can get PFNs".
+// An unprivileged reader sees the present bit but a zeroed PFN field.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "vm/address_space.hpp"
+
+namespace explframe::vm {
+
+struct PagemapEntry {
+  bool present = false;
+  /// PFN if the caller had CAP_SYS_ADMIN, otherwise 0 (as on Linux >= 4.0).
+  mm::Pfn pfn = 0;
+};
+
+/// Read the pagemap entry for one virtual page of `space`.
+PagemapEntry pagemap_read(const AddressSpace& space, VirtAddr va,
+                          bool cap_sys_admin);
+
+}  // namespace explframe::vm

@@ -1,0 +1,137 @@
+#include "attack/explframe_present.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace explframe::attack {
+namespace {
+
+using crypto::Present80;
+
+kernel::SystemConfig present_system_cfg(std::uint64_t seed) {
+  kernel::SystemConfig c;
+  c.memory_bytes = 64 * kMiB;
+  c.num_cpus = 2;
+  // Dense population: the PRESENT table is a 16-byte target (vs 256 for
+  // AES), so templating needs far more candidate cells.
+  c.dram.weak_cells.cells_per_mib = 512.0;
+  c.dram.weak_cells.threshold_log_mean = 10.4;
+  c.dram.weak_cells.threshold_min = 25'000;
+  c.dram.weak_cells.threshold_max = 60'000;
+  c.dram.data_pattern_sensitivity = false;
+  c.seed = seed;
+  return c;
+}
+
+ExplFramePresentConfig present_attack_cfg(std::uint64_t seed) {
+  ExplFramePresentConfig cfg;
+  cfg.templating.buffer_bytes = 4 * kMiB;
+  cfg.templating.hammer_iterations = 100'000;
+  Rng rng(seed * 131 + 17);
+  rng.fill_bytes(cfg.victim.key);
+  cfg.ciphertext_budget = 2000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(VictimPresentService, EncryptsCorrectly) {
+  kernel::SystemConfig c = present_system_cfg(1);
+  c.dram.weak_cells.cells_per_mib = 0.0;
+  kernel::System sys(c);
+  VictimPresentService::Config vc;
+  Rng rng(3);
+  rng.fill_bytes(vc.key);
+  VictimPresentService victim(sys, 0, vc);
+  victim.start();
+  victim.install_tables();
+  const auto rk = Present80::expand_key(vc.key);
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t pt = rng.next();
+    EXPECT_EQ(victim.encrypt(pt), Present80::encrypt(pt, rk));
+  }
+  EXPECT_FALSE(victim.table_corrupted());
+}
+
+TEST(VictimPresentService, LowNibbleCorruptionDetectedAndLive) {
+  kernel::SystemConfig c = present_system_cfg(1);
+  c.dram.weak_cells.cells_per_mib = 0.0;
+  kernel::System sys(c);
+  VictimPresentService::Config vc;
+  Rng rng(4);
+  rng.fill_bytes(vc.key);
+  VictimPresentService victim(sys, 0, vc);
+  victim.start();
+  victim.install_tables();
+  const auto phys = sys.phys_of(
+      victim.task(), victim.table_page_va() + vc.sbox_offset + 5);
+  sys.dram().write_byte(phys, sys.dram().read_byte(phys) ^ 0x2);
+  EXPECT_TRUE(victim.table_corrupted());
+  auto faulty = Present80::sbox();
+  faulty[5] ^= 0x2;
+  const auto rk = Present80::expand_key(vc.key);
+  const std::uint64_t pt = rng.next();
+  EXPECT_EQ(victim.encrypt(pt),
+            Present80::encrypt_with_sbox(
+                pt, rk, std::span<const std::uint8_t, 16>(faulty)));
+}
+
+TEST(VictimPresentService, HighNibbleCorruptionIsMaskedOut) {
+  kernel::SystemConfig c = present_system_cfg(1);
+  c.dram.weak_cells.cells_per_mib = 0.0;
+  kernel::System sys(c);
+  VictimPresentService::Config vc;
+  Rng rng(5);
+  rng.fill_bytes(vc.key);
+  VictimPresentService victim(sys, 0, vc);
+  victim.start();
+  victim.install_tables();
+  const auto phys = sys.phys_of(
+      victim.task(), victim.table_page_va() + vc.sbox_offset + 5);
+  sys.dram().write_byte(phys, sys.dram().read_byte(phys) ^ 0x80);
+  // The stored byte changed but the implementation masks the high nibble.
+  EXPECT_FALSE(victim.table_corrupted());
+  const auto rk = Present80::expand_key(vc.key);
+  const std::uint64_t pt = rng.next();
+  EXPECT_EQ(victim.encrypt(pt), Present80::encrypt(pt, rk));
+}
+
+TEST(ExplFramePresentAttack, EndToEndKeyRecovery) {
+  bool any_success = false;
+  std::size_t attempted = 0;
+  for (std::uint64_t seed = 1; seed <= 6 && !any_success; ++seed) {
+    kernel::System sys(present_system_cfg(seed));
+    ExplFramePresentAttack attack(sys, present_attack_cfg(seed));
+    const auto report = attack.run();
+    if (!report.template_found) continue;  // 16-byte window: misses happen
+    ++attempted;
+    EXPECT_TRUE(report.steered) << "seed " << seed;
+    EXPECT_TRUE(report.fault_injected) << "seed " << seed;
+    if (report.success) {
+      any_success = true;
+      EXPECT_EQ(report.recovered_key, present_attack_cfg(seed).victim.key);
+      EXPECT_LE(report.ciphertexts_used, 2000u);
+      EXPECT_LE(report.residual_search, 1u << 16);
+      EXPECT_EQ(report.failure_stage(), "none");
+    }
+  }
+  EXPECT_TRUE(any_success) << "attempted " << attempted;
+}
+
+TEST(ExplFramePresentReport, FailureStages) {
+  ExplFramePresentReport r;
+  EXPECT_EQ(r.failure_stage(), "templating");
+  r.template_found = true;
+  EXPECT_EQ(r.failure_stage(), "steering");
+  r.steered = true;
+  EXPECT_EQ(r.failure_stage(), "fault-injection");
+  r.fault_injected = true;
+  EXPECT_EQ(r.failure_stage(), "key-recovery");
+  r.key_recovered = true;
+  EXPECT_EQ(r.failure_stage(), "key-mismatch");
+  r.success = true;
+  EXPECT_EQ(r.failure_stage(), "none");
+}
+
+}  // namespace
+}  // namespace explframe::attack

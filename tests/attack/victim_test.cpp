@@ -1,0 +1,101 @@
+#include "attack/victim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace explframe::attack {
+namespace {
+
+using crypto::Aes128;
+
+kernel::SystemConfig cfg() {
+  kernel::SystemConfig c;
+  c.memory_bytes = 64 * kMiB;
+  c.num_cpus = 1;
+  c.dram.weak_cells.cells_per_mib = 0.0;
+  return c;
+}
+
+VictimConfig victim_cfg() {
+  VictimConfig v;
+  Rng rng(77);
+  rng.fill_bytes(v.key);
+  return v;
+}
+
+TEST(VictimAesService, EncryptsCorrectlyFromMemoryTables) {
+  kernel::System sys(cfg());
+  VictimAesService victim(sys, 0, victim_cfg());
+  victim.start();
+  victim.install_tables();
+
+  Rng rng(5);
+  const auto rk = Aes128::expand_key(victim.config().key);
+  for (int i = 0; i < 20; ++i) {
+    Aes128::Block pt;
+    rng.fill_bytes(pt);
+    EXPECT_EQ(victim.encrypt(pt), Aes128::encrypt(pt, rk));
+  }
+  EXPECT_EQ(victim.encryptions(), 20u);
+}
+
+TEST(VictimAesService, TableReadBackMatchesSbox) {
+  kernel::System sys(cfg());
+  VictimAesService victim(sys, 0, victim_cfg());
+  victim.start();
+  victim.install_tables();
+  EXPECT_EQ(victim.read_table(), Aes128::sbox());
+  EXPECT_FALSE(victim.table_corrupted());
+}
+
+TEST(VictimAesService, CorruptedTableDetectedAndUsed) {
+  kernel::System sys(cfg());
+  VictimAesService victim(sys, 0, victim_cfg());
+  victim.start();
+  victim.install_tables();
+
+  // Corrupt one table byte directly in DRAM (as a Rowhammer flip would).
+  const auto phys = sys.phys_of(victim.task(), victim.table_page_va() +
+                                                   victim.config().sbox_offset +
+                                                   0x42);
+  sys.dram().write_byte(phys, sys.dram().read_byte(phys) ^ 0x08);
+
+  EXPECT_TRUE(victim.table_corrupted());
+  auto faulty = Aes128::sbox();
+  faulty[0x42] ^= 0x08;
+  const auto rk = Aes128::expand_key(victim.config().key);
+  Rng rng(6);
+  Aes128::Block pt;
+  rng.fill_bytes(pt);
+  EXPECT_EQ(victim.encrypt(pt),
+            Aes128::encrypt_with_sbox(
+                pt, rk, std::span<const std::uint8_t, 256>(faulty)));
+}
+
+TEST(VictimAesService, TablePageIsFirstTouchedPage) {
+  kernel::System sys(cfg());
+  VictimAesService victim(sys, 0, victim_cfg());
+  victim.start();
+
+  // Plant a known frame at the pcp head just before installation.
+  kernel::Task& planter = sys.spawn("planter", 0);
+  const vm::VirtAddr pv = sys.sys_mmap(planter, kPageSize);
+  const std::uint8_t b = 1;
+  ASSERT_TRUE(sys.mem_write(planter, pv, {&b, 1}));
+  const mm::Pfn planted = sys.translate(planter, pv);
+  sys.sys_munmap(planter, pv, kPageSize);
+
+  victim.install_tables();
+  EXPECT_EQ(sys.translate(victim.task(), victim.table_page_va()), planted);
+}
+
+TEST(VictimAesService, ConfigValidation) {
+  kernel::System sys(cfg());
+  VictimConfig bad = victim_cfg();
+  bad.sbox_offset = kPageSize - 100;  // table would not fit in the page
+  EXPECT_DEATH({ VictimAesService v(sys, 0, bad); }, "invariant");
+}
+
+}  // namespace
+}  // namespace explframe::attack

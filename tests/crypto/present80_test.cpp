@@ -1,0 +1,118 @@
+#include "crypto/present80.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace explframe::crypto {
+namespace {
+
+using Key = Present80::Key;
+
+// Test vectors from the PRESENT paper (Bogdanov et al., CHES 2007).
+TEST(Present80, PaperVectorAllZero) {
+  const Key key{};  // 00...0
+  const auto rk = Present80::expand_key(key);
+  EXPECT_EQ(Present80::encrypt(0x0000000000000000ULL, rk),
+            0x5579C1387B228445ULL);
+}
+
+TEST(Present80, PaperVectorZeroKeyOnesPlain) {
+  const Key key{};
+  const auto rk = Present80::expand_key(key);
+  EXPECT_EQ(Present80::encrypt(0xFFFFFFFFFFFFFFFFULL, rk),
+            0xA112FFC72F68417BULL);
+}
+
+TEST(Present80, PaperVectorOnesKeyZeroPlain) {
+  Key key;
+  key.fill(0xFF);
+  const auto rk = Present80::expand_key(key);
+  EXPECT_EQ(Present80::encrypt(0x0000000000000000ULL, rk),
+            0xE72C46C0F5945049ULL);
+}
+
+TEST(Present80, PaperVectorOnesEverything) {
+  Key key;
+  key.fill(0xFF);
+  const auto rk = Present80::expand_key(key);
+  EXPECT_EQ(Present80::encrypt(0xFFFFFFFFFFFFFFFFULL, rk),
+            0x3333DCD3213210D2ULL);
+}
+
+TEST(Present80, DecryptInvertsEncrypt) {
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    Key key;
+    rng.fill_bytes(key);
+    const auto rk = Present80::expand_key(key);
+    const std::uint64_t pt = rng.next();
+    EXPECT_EQ(Present80::decrypt(Present80::encrypt(pt, rk), rk), pt);
+  }
+}
+
+TEST(Present80, PLayerRoundTrips) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next();
+    EXPECT_EQ(Present80::p_layer_inv(Present80::p_layer(v)), v);
+    EXPECT_EQ(Present80::p_layer(Present80::p_layer_inv(v)), v);
+  }
+}
+
+TEST(Present80, PLayerIsLinearOverXor) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next();
+    const std::uint64_t b = rng.next();
+    EXPECT_EQ(Present80::p_layer(a ^ b),
+              Present80::p_layer(a) ^ Present80::p_layer(b));
+  }
+}
+
+TEST(Present80, SboxIsBijective) {
+  const auto& sbox = Present80::sbox();
+  const auto& inv = Present80::inv_sbox();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(inv[sbox[i]], i);
+    EXPECT_EQ(sbox[inv[i]], i);
+  }
+}
+
+TEST(Present80, EncryptWithCanonicalSboxMatches) {
+  Rng rng(12);
+  Key key;
+  rng.fill_bytes(key);
+  const auto rk = Present80::expand_key(key);
+  const std::uint64_t pt = rng.next();
+  EXPECT_EQ(Present80::encrypt_with_sbox(pt, rk, Present80::sbox()),
+            Present80::encrypt(pt, rk));
+}
+
+TEST(Present80, FaultySboxChangesCiphertext) {
+  Rng rng(13);
+  Key key;
+  rng.fill_bytes(key);
+  const auto rk = Present80::expand_key(key);
+  auto faulty = Present80::sbox();
+  faulty[5] ^= 0x4;
+  int diffs = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t pt = rng.next();
+    if (Present80::encrypt_with_sbox(pt, rk, faulty) !=
+        Present80::encrypt(pt, rk))
+      ++diffs;
+  }
+  EXPECT_GT(diffs, 60);  // 31 rounds x 16 nibbles: almost always hit
+}
+
+TEST(Present80, RoundKeysDiffer) {
+  Key key;
+  key.fill(0x12);
+  const auto rk = Present80::expand_key(key);
+  EXPECT_NE(rk[0], rk[1]);
+  EXPECT_NE(rk[30], rk[31]);
+}
+
+}  // namespace
+}  // namespace explframe::crypto

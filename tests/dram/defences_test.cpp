@@ -1,0 +1,201 @@
+// Tests for the in-DRAM mitigations: Target Row Refresh and SECDED ECC.
+#include <gtest/gtest.h>
+
+#include "dram/hammer.hpp"
+#include "support/check.hpp"
+
+namespace explframe::dram {
+namespace {
+
+DeviceParams vulnerable_params() {
+  DeviceParams p;
+  p.weak_cells.cells_per_mib = 512.0;
+  p.weak_cells.threshold_log_mean = 10.3;
+  p.weak_cells.threshold_max = 120'000;
+  p.data_pattern_sensitivity = false;
+  return p;
+}
+
+/// Find a hammerable (double-coupled, charged-on-0xFF) cell and return its
+/// victim coordinate; charges the row.
+bool find_target(DramDevice& dev, AddressMapping& map, DramAddress& victim,
+                 WeakCell& cell) {
+  const auto& g = dev.geometry();
+  for (const auto fr : dev.weak_cells().vulnerable_rows()) {
+    const auto in_bank = static_cast<std::uint32_t>(fr % g.rows_per_bank);
+    if (in_bank == 0 || in_bank + 1 >= g.rows_per_bank) continue;
+    const auto& c = dev.weak_cells().cells_in_row(fr)[0];
+    if (c.couple_above <= 0.0F || c.couple_below <= 0.0F) continue;
+    if (!c.true_cell) continue;
+    victim.channel = 0;
+    const std::uint64_t bank_flat = fr / g.rows_per_bank;
+    victim.bank = static_cast<std::uint32_t>(bank_flat % g.banks);
+    const std::uint64_t cr = bank_flat / g.banks;
+    victim.rank = static_cast<std::uint32_t>(cr % g.ranks);
+    victim.channel = static_cast<std::uint32_t>(cr / g.ranks);
+    victim.row = in_bank;
+    victim.col = c.col;
+    cell = c;
+    dev.fill(map.encode({victim.channel, victim.rank, victim.bank,
+                         victim.row, 0}),
+             0xFF, g.row_bytes);
+    return true;
+  }
+  return false;
+}
+
+TEST(Trr, BlocksDoubleSidedHammering) {
+  const auto g = Geometry::with_capacity(64 * kMiB);
+  DeviceParams p = vulnerable_params();
+  p.trr.enabled = true;
+  p.trr.threshold = 8'000;  // well below every weak-cell threshold
+  DramDevice dev(g, p, 21);
+  AddressMapping map(g, p.mapping);
+  HammerEngine engine(dev);
+  DramAddress victim;
+  WeakCell cell;
+  ASSERT_TRUE(find_target(dev, map, victim, cell));
+  const auto r = engine.hammer_double_sided(map.encode(victim), 400'000);
+  for (const auto& f : r.flips)
+    EXPECT_FALSE(f.coord.row == victim.row && f.coord.bank == victim.bank);
+  EXPECT_GT(dev.trr_interventions(), 0u);
+}
+
+TEST(Trr, SameHammeringFlipsWithoutTrr) {
+  const auto g = Geometry::with_capacity(64 * kMiB);
+  DeviceParams p = vulnerable_params();
+  DramDevice dev(g, p, 21);
+  AddressMapping map(g, p.mapping);
+  HammerEngine engine(dev);
+  DramAddress victim;
+  WeakCell cell;
+  ASSERT_TRUE(find_target(dev, map, victim, cell));
+  const auto r = engine.hammer_double_sided(map.encode(victim), 400'000);
+  bool flipped = false;
+  for (const auto& f : r.flips)
+    flipped |= f.coord.row == victim.row && f.coord.col == cell.col;
+  EXPECT_TRUE(flipped);
+  EXPECT_EQ(dev.trr_interventions(), 0u);
+}
+
+TEST(Trr, HighThresholdDoesNotIntervene) {
+  const auto g = Geometry::with_capacity(64 * kMiB);
+  DeviceParams p = vulnerable_params();
+  p.trr.enabled = true;
+  p.trr.threshold = 10'000'000;  // never reached within a window
+  DramDevice dev(g, p, 21);
+  AddressMapping map(g, p.mapping);
+  HammerEngine engine(dev);
+  DramAddress victim;
+  WeakCell cell;
+  ASSERT_TRUE(find_target(dev, map, victim, cell));
+  engine.hammer_double_sided(map.encode(victim), 400'000);
+  EXPECT_EQ(dev.trr_interventions(), 0u);
+}
+
+class EccTest : public ::testing::Test {
+ protected:
+  EccTest()
+      : geometry_(Geometry::with_capacity(64 * kMiB)),
+        params_(make_params()),
+        dev_(geometry_, params_, 21),
+        map_(geometry_, params_.mapping),
+        engine_(dev_) {}
+
+  static DeviceParams make_params() {
+    DeviceParams p = vulnerable_params();
+    p.ecc.enabled = true;
+    return p;
+  }
+
+  /// Hammer until one flip lands; returns its event.
+  FlipEvent induce_flip() {
+    DramAddress victim;
+    WeakCell cell;
+    EXPLFRAME_CHECK(find_target(dev_, map_, victim, cell));
+    const auto r = engine_.hammer_double_sided(
+        map_.encode({victim.channel, victim.rank, victim.bank, victim.row, 0}),
+        400'000);
+    EXPLFRAME_CHECK(!r.flips.empty());
+    for (const auto& f : r.flips)
+      if (f.coord.row == victim.row) return f;
+    return r.flips.front();
+  }
+
+  Geometry geometry_;
+  DeviceParams params_;
+  DramDevice dev_;
+  AddressMapping map_;
+  HammerEngine engine_;
+};
+
+TEST_F(EccTest, SingleBitFlipCorrectedOnRead) {
+  const FlipEvent flip = induce_flip();
+  // The cell array holds the flipped value, but reads are corrected.
+  EXPECT_EQ(dev_.read_byte(flip.addr), 0xFF);
+  EXPECT_GT(dev_.ecc_corrected_bits(), 0u);
+  EXPECT_EQ(dev_.ecc_uncorrectable_words(), 0u);
+}
+
+TEST_F(EccTest, RewriteClearsCorrectionState) {
+  const FlipEvent flip = induce_flip();
+  const auto corrected_before = dev_.ecc_corrected_bits();
+  dev_.write_byte(flip.addr, 0x5A);
+  EXPECT_EQ(dev_.read_byte(flip.addr), 0x5A);
+  // No further corrections: the flip record was absorbed by the write.
+  EXPECT_EQ(dev_.ecc_corrected_bits(), corrected_before);
+}
+
+TEST_F(EccTest, DoubleFlipInWordIsUncorrectable) {
+  // Two injected flips in the same 64-bit word defeat SECDED: the read is
+  // flagged uncorrectable and returns the raw (corrupted) data.
+  const PhysAddr word_base = 4096 * 8;  // word-aligned
+  dev_.fill(word_base, 0xFF, 8);
+  dev_.inject_flip(word_base + 1, 3);
+  dev_.inject_flip(word_base + 5, 6);
+  EXPECT_EQ(dev_.read_byte(word_base + 1), 0xFF ^ 0x08);
+  EXPECT_EQ(dev_.read_byte(word_base + 5), 0xFF ^ 0x40);
+  EXPECT_GE(dev_.ecc_uncorrectable_words(), 2u);
+}
+
+TEST_F(EccTest, InjectedSingleFlipCorrected) {
+  const PhysAddr addr = 4096 * 12 + 16;
+  dev_.fill(addr & ~PhysAddr{7}, 0xA5, 8);
+  dev_.inject_flip(addr, 2);
+  EXPECT_EQ(dev_.read_byte(addr), 0xA5);  // corrected on read
+  EXPECT_GT(dev_.ecc_corrected_bits(), 0u);
+}
+
+TEST_F(EccTest, FlipsInSeparateWordsCorrectedIndependently) {
+  dev_.fill(0, 0x00, 64);
+  dev_.inject_flip(0, 0);
+  dev_.inject_flip(8, 7);  // next word
+  std::uint8_t buf[16] = {};
+  dev_.read(0, buf);
+  EXPECT_EQ(buf[0], 0x00);
+  EXPECT_EQ(buf[8], 0x00);
+  EXPECT_EQ(dev_.ecc_uncorrectable_words(), 0u);
+}
+
+TEST(EccDisabled, FlipVisibleWithoutEcc) {
+  const auto g = Geometry::with_capacity(64 * kMiB);
+  DeviceParams p = vulnerable_params();
+  DramDevice dev(g, p, 21);
+  AddressMapping map(g, p.mapping);
+  HammerEngine engine(dev);
+  DramAddress victim;
+  WeakCell cell;
+  ASSERT_TRUE(find_target(dev, map, victim, cell));
+  const auto r = engine.hammer_double_sided(
+      map.encode({victim.channel, victim.rank, victim.bank, victim.row, 0}),
+      400'000);
+  ASSERT_FALSE(r.flips.empty());
+  bool corrupted_read = false;
+  for (const auto& f : r.flips)
+    corrupted_read |= dev.read_byte(f.addr) != 0xFF;
+  EXPECT_TRUE(corrupted_read);
+  EXPECT_EQ(dev.ecc_corrected_bits(), 0u);
+}
+
+}  // namespace
+}  // namespace explframe::dram

@@ -1,0 +1,114 @@
+#include "dram/weak_cells.hpp"
+
+#include <gtest/gtest.h>
+
+namespace explframe::dram {
+namespace {
+
+Geometry small_geometry() { return Geometry::with_capacity(64 * kMiB); }
+
+TEST(WeakCellModel, DeterministicForSeed) {
+  const auto g = small_geometry();
+  WeakCellParams p;
+  WeakCellModel a(g, p, 42), b(g, p, 42);
+  EXPECT_EQ(a.total_cells(), b.total_cells());
+  EXPECT_EQ(a.vulnerable_rows(), b.vulnerable_rows());
+}
+
+TEST(WeakCellModel, DifferentSeedsDiffer) {
+  const auto g = small_geometry();
+  WeakCellParams p;
+  WeakCellModel a(g, p, 1), b(g, p, 2);
+  EXPECT_NE(a.vulnerable_rows(), b.vulnerable_rows());
+}
+
+TEST(WeakCellModel, PopulationScalesWithDensity) {
+  const auto g = small_geometry();
+  WeakCellParams lo, hi;
+  lo.cells_per_mib = 1.0;
+  hi.cells_per_mib = 16.0;
+  WeakCellModel a(g, lo, 7), b(g, hi, 7);
+  // 64 MiB: expect ~64 vs ~1024 cells; allow generous slack.
+  EXPECT_GT(a.total_cells(), 20u);
+  EXPECT_LT(a.total_cells(), 200u);
+  EXPECT_GT(b.total_cells(), 600u);
+  EXPECT_GT(b.total_cells(), 4 * a.total_cells());
+}
+
+TEST(WeakCellModel, ZeroDensityYieldsNoCells) {
+  const auto g = small_geometry();
+  WeakCellParams p;
+  p.cells_per_mib = 0.0;
+  WeakCellModel m(g, p, 3);
+  EXPECT_EQ(m.total_cells(), 0u);
+  EXPECT_TRUE(m.vulnerable_rows().empty());
+}
+
+TEST(WeakCellModel, ThresholdsWithinConfiguredBounds) {
+  const auto g = small_geometry();
+  WeakCellParams p;
+  p.cells_per_mib = 16.0;
+  WeakCellModel m(g, p, 9);
+  for (const auto row : m.vulnerable_rows()) {
+    for (const auto& cell : m.cells_in_row(row)) {
+      EXPECT_GE(cell.threshold, p.threshold_min);
+      EXPECT_LE(cell.threshold, p.threshold_max);
+      EXPECT_LT(cell.col, g.row_bytes);
+      EXPECT_LT(cell.bit, 8);
+      EXPECT_TRUE(cell.couple_above == 1.0F || cell.couple_below == 1.0F);
+    }
+  }
+}
+
+TEST(WeakCellModel, MixOfTrueAndAntiCells) {
+  const auto g = small_geometry();
+  WeakCellParams p;
+  p.cells_per_mib = 32.0;
+  WeakCellModel m(g, p, 13);
+  std::size_t true_cells = 0, anti_cells = 0;
+  for (const auto row : m.vulnerable_rows()) {
+    for (const auto& cell : m.cells_in_row(row))
+      (cell.true_cell ? true_cells : anti_cells)++;
+  }
+  EXPECT_GT(true_cells, 0u);
+  EXPECT_GT(anti_cells, 0u);
+}
+
+TEST(WeakCellModel, SomeSingleSidedCells) {
+  const auto g = small_geometry();
+  WeakCellParams p;
+  p.cells_per_mib = 32.0;
+  p.single_sided_fraction = 0.5;
+  WeakCellModel m(g, p, 21);
+  std::size_t single = 0, total = 0;
+  for (const auto row : m.vulnerable_rows()) {
+    for (const auto& cell : m.cells_in_row(row)) {
+      ++total;
+      if (cell.couple_above == 0.0F || cell.couple_below == 0.0F) ++single;
+    }
+  }
+  EXPECT_GT(single, total / 4);
+  EXPECT_LT(single, 3 * total / 4);
+}
+
+TEST(WeakCellModel, CellsInUnknownRowEmpty) {
+  const auto g = small_geometry();
+  WeakCellParams p;
+  p.cells_per_mib = 0.0;
+  WeakCellModel m(g, p, 1);
+  EXPECT_TRUE(m.cells_in_row(123).empty());
+}
+
+TEST(WeakCellModel, VulnerableRowsSortedAndInRange) {
+  const auto g = small_geometry();
+  WeakCellParams p;
+  p.cells_per_mib = 8.0;
+  WeakCellModel m(g, p, 17);
+  const auto rows = m.vulnerable_rows();
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    EXPECT_LT(rows[i - 1], rows[i]);
+  for (const auto r : rows) EXPECT_LT(r, g.total_rows());
+}
+
+}  // namespace
+}  // namespace explframe::dram

@@ -1,0 +1,185 @@
+#include "fault/pfa_aes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/injection.hpp"
+#include "support/rng.hpp"
+
+namespace explframe::fault {
+namespace {
+
+using crypto::Aes128;
+
+struct PfaFixtureResult {
+  Aes128::Key key;
+  std::uint8_t v;
+  std::uint8_t v_new;
+  AesPfa pfa;
+};
+
+/// Encrypt `n` random plaintexts under a persistently faulted S-box.
+PfaFixtureResult collect(std::size_t n, SboxByteFault fault,
+                         std::uint64_t seed) {
+  PfaFixtureResult r;
+  Rng rng(seed);
+  rng.fill_bytes(r.key);
+  auto table = Aes128::sbox();
+  const auto [before, after] = apply_fault(table, fault);
+  r.v = before;
+  r.v_new = after;
+  const auto rk = Aes128::expand_key(r.key);
+  for (std::size_t i = 0; i < n; ++i) {
+    Aes128::Block pt;
+    rng.fill_bytes(pt);
+    r.pfa.add_ciphertext(Aes128::encrypt_with_sbox(pt, rk, table));
+  }
+  return r;
+}
+
+TEST(AesPfa, MissingValueRecoversKey) {
+  auto r = collect(6000, {0x42, 0x08}, 101);
+  const auto key =
+      r.pfa.recover_master_key(PfaStrategy::kMissingValue, r.v, r.v_new);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, r.key);
+}
+
+TEST(AesPfa, MaxLikelihoodRecoversKey) {
+  // The frequency peak needs more data than the missing value to become
+  // unambiguous at every byte simultaneously (peak 2x vs max of 254 cells).
+  auto r = collect(20000, {0x42, 0x08}, 102);
+  const auto key =
+      r.pfa.recover_master_key(PfaStrategy::kMaxLikelihood, r.v, r.v_new);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, r.key);
+}
+
+class PfaFaultSweep
+    : public ::testing::TestWithParam<std::pair<std::uint16_t, std::uint8_t>> {
+};
+
+TEST_P(PfaFaultSweep, RecoversForVariousFaults) {
+  const auto [index, mask] = GetParam();
+  auto r = collect(8000, {index, mask}, 500 + index);
+  const auto key =
+      r.pfa.recover_master_key(PfaStrategy::kMissingValue, r.v, r.v_new);
+  ASSERT_TRUE(key.has_value()) << "index=" << index;
+  EXPECT_EQ(*key, r.key);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Faults, PfaFaultSweep,
+    ::testing::Values(std::pair<std::uint16_t, std::uint8_t>{0x00, 0x01},
+                      std::pair<std::uint16_t, std::uint8_t>{0xFF, 0x80},
+                      std::pair<std::uint16_t, std::uint8_t>{0x3A, 0x10},
+                      std::pair<std::uint16_t, std::uint8_t>{0x7C, 0x04},
+                      std::pair<std::uint16_t, std::uint8_t>{0xB1, 0x40}));
+
+TEST(AesPfa, KeyspaceShrinksWithCiphertexts) {
+  Rng rng(103);
+  Aes128::Key key;
+  rng.fill_bytes(key);
+  auto table = Aes128::sbox();
+  apply_fault(table, {0x20, 0x02});
+  const std::uint8_t v = Aes128::sbox()[0x20];
+  const std::uint8_t v_new = table[0x20];
+  const auto rk = Aes128::expand_key(key);
+
+  AesPfa pfa;
+  double last = 128.0;
+  for (int chunk = 0; chunk < 8; ++chunk) {
+    for (int i = 0; i < 500; ++i) {
+      Aes128::Block pt;
+      rng.fill_bytes(pt);
+      pfa.add_ciphertext(Aes128::encrypt_with_sbox(pt, rk, table));
+    }
+    const double now =
+        pfa.remaining_keyspace_log2(PfaStrategy::kMissingValue, v, v_new);
+    EXPECT_LE(now, last + 1e-9);
+    last = now;
+  }
+  EXPECT_DOUBLE_EQ(last, 0.0);  // unique key after 4000 ciphertexts
+}
+
+TEST(AesPfa, TooFewCiphertextsGivesNoUniqueKey) {
+  auto r = collect(100, {0x42, 0x08}, 104);
+  EXPECT_FALSE(r.pfa.recover_round10(PfaStrategy::kMissingValue, r.v, r.v_new)
+                   .has_value());
+  EXPECT_GT(r.pfa.remaining_keyspace_log2(PfaStrategy::kMissingValue, r.v,
+                                          r.v_new),
+            0.0);
+}
+
+TEST(AesPfa, NoFaultMeansNoMissingValue) {
+  // Without a fault every value eventually appears: candidates go empty and
+  // the keyspace estimate stays saturated.
+  Rng rng(105);
+  Aes128::Key key;
+  rng.fill_bytes(key);
+  const auto rk = Aes128::expand_key(key);
+  AesPfa pfa;
+  for (int i = 0; i < 8000; ++i) {
+    Aes128::Block pt;
+    rng.fill_bytes(pt);
+    pfa.add_ciphertext(Aes128::encrypt(pt, rk));
+  }
+  const auto cand = pfa.candidates(PfaStrategy::kMissingValue, 0x63, 0x62);
+  for (const auto& c : cand) EXPECT_TRUE(c.empty());
+  EXPECT_DOUBLE_EQ(
+      pfa.remaining_keyspace_log2(PfaStrategy::kMissingValue, 0x63, 0x62),
+      128.0);
+}
+
+TEST(AesPfa, FrequencyPeakIsDoubled) {
+  auto r = collect(8000, {0x10, 0x20}, 106);
+  // The replacement value v' appears ~2x as often as average at each byte.
+  const auto rk = Aes128::expand_key(r.key);
+  (void)rk;
+  for (std::size_t j = 0; j < 16; ++j) {
+    const auto& f = r.pfa.frequencies(j);
+    std::uint32_t best = 0;
+    std::size_t best_t = 0;
+    for (std::size_t t = 0; t < 256; ++t)
+      if (f[t] > best) {
+        best = f[t];
+        best_t = t;
+      }
+    const double avg = 8000.0 / 256.0;
+    EXPECT_GT(best, 1.4 * avg) << j;
+    // And the peak decodes to the same key byte the missing value gives.
+    const auto missing =
+        r.pfa.candidates(PfaStrategy::kMissingValue, r.v, r.v_new);
+    ASSERT_EQ(missing[j].size(), 1u);
+    EXPECT_EQ(static_cast<std::uint8_t>(best_t ^ r.v_new), missing[j][0]);
+  }
+}
+
+TEST(AesPfa, ResetClearsState) {
+  auto r = collect(1000, {0x11, 0x01}, 107);
+  EXPECT_EQ(r.pfa.ciphertext_count(), 1000u);
+  r.pfa.reset();
+  EXPECT_EQ(r.pfa.ciphertext_count(), 0u);
+  for (std::size_t j = 0; j < 16; ++j)
+    for (std::size_t t = 0; t < 256; ++t)
+      EXPECT_EQ(r.pfa.frequencies(j)[t], 0u);
+}
+
+TEST(FaultFromFlip, MapsPageOffsetsIntoTable) {
+  // Table at page offset 0x400, 256 bytes.
+  const auto inside = fault_from_flip(0x410, 3, 0x400, 256);
+  ASSERT_TRUE(inside.has_value());
+  EXPECT_EQ(inside->index, 0x10);
+  EXPECT_EQ(inside->mask, 0x08);
+  EXPECT_FALSE(fault_from_flip(0x3FF, 0, 0x400, 256).has_value());
+  EXPECT_FALSE(fault_from_flip(0x500, 0, 0x400, 256).has_value());
+  EXPECT_TRUE(fault_from_flip(0x4FF, 7, 0x400, 256).has_value());
+}
+
+TEST(FaultDescribe, MentionsIndexAndMask) {
+  const auto text = describe({0x42, 0x08});
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace explframe::fault

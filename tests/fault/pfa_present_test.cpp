@@ -1,0 +1,114 @@
+#include "fault/pfa_present.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/injection.hpp"
+#include "support/rng.hpp"
+
+namespace explframe::fault {
+namespace {
+
+using crypto::Present80;
+
+TEST(PresentPfa, RecoversLastRoundKey) {
+  Rng rng(201);
+  Present80::Key key;
+  rng.fill_bytes(key);
+  auto table = Present80::sbox();
+  const auto [v, v_new] = apply_fault(table, {0x5, 0x2});
+  const auto rk = Present80::expand_key(key);
+
+  PresentPfa pfa;
+  for (int i = 0; i < 600; ++i)
+    pfa.add_ciphertext(Present80::encrypt_with_sbox(rng.next(), rk, table));
+
+  const auto k32 = pfa.recover_k32(v);
+  ASSERT_TRUE(k32.has_value());
+  EXPECT_EQ(*k32, rk[31]);
+  (void)v_new;
+}
+
+TEST(PresentPfa, RecoversMasterKeyWithResidualSearch) {
+  Rng rng(202);
+  Present80::Key key;
+  rng.fill_bytes(key);
+  auto table = Present80::sbox();
+  const auto [v, v_new] = apply_fault(table, {0xB, 0x8});
+  (void)v_new;
+  const auto rk = Present80::expand_key(key);
+
+  PresentPfa pfa;
+  const std::uint64_t known_pt = rng.next();
+  const std::uint64_t known_ct =
+      Present80::encrypt_with_sbox(known_pt, rk, table);
+  for (int i = 0; i < 800; ++i)
+    pfa.add_ciphertext(Present80::encrypt_with_sbox(rng.next(), rk, table));
+
+  const auto result = pfa.recover_master_key(v, known_pt, known_ct, table);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->key, key);
+  EXPECT_GE(result->search_tried, 1u);
+  EXPECT_LE(result->search_tried, 1u << 16);
+}
+
+TEST(PresentPfa, NeedsFarFewerCiphertextsThanAes) {
+  // 16-value nibbles saturate after ~O(16 ln 16) ~ 45 samples; 200 is
+  // plenty. This is the data-complexity contrast shown in EXP-T6.
+  Rng rng(203);
+  Present80::Key key;
+  rng.fill_bytes(key);
+  auto table = Present80::sbox();
+  const auto [v, v_new] = apply_fault(table, {0x3, 0x1});
+  (void)v_new;
+  const auto rk = Present80::expand_key(key);
+  PresentPfa pfa;
+  for (int i = 0; i < 200; ++i)
+    pfa.add_ciphertext(Present80::encrypt_with_sbox(rng.next(), rk, table));
+  EXPECT_TRUE(pfa.recover_k32(v).has_value());
+}
+
+TEST(PresentPfa, KeyspaceShrinksMonotonically) {
+  Rng rng(204);
+  Present80::Key key;
+  rng.fill_bytes(key);
+  auto table = Present80::sbox();
+  const auto [v, v_new] = apply_fault(table, {0x9, 0x4});
+  (void)v_new;
+  const auto rk = Present80::expand_key(key);
+  PresentPfa pfa;
+  double last = 64.0;
+  for (int chunk = 0; chunk < 6; ++chunk) {
+    for (int i = 0; i < 30; ++i)
+      pfa.add_ciphertext(Present80::encrypt_with_sbox(rng.next(), rk, table));
+    const double now = pfa.remaining_keyspace_log2(v);
+    EXPECT_LE(now, last + 1e-9);
+    last = now;
+  }
+  EXPECT_DOUBLE_EQ(last, 0.0);
+}
+
+TEST(PresentPfa, TooFewCiphertextsAmbiguous) {
+  Rng rng(205);
+  Present80::Key key;
+  rng.fill_bytes(key);
+  auto table = Present80::sbox();
+  const auto [v, v_new] = apply_fault(table, {0x1, 0x2});
+  (void)v_new;
+  const auto rk = Present80::expand_key(key);
+  PresentPfa pfa;
+  for (int i = 0; i < 5; ++i)
+    pfa.add_ciphertext(Present80::encrypt_with_sbox(rng.next(), rk, table));
+  EXPECT_FALSE(pfa.recover_k32(v).has_value());
+  EXPECT_GT(pfa.remaining_keyspace_log2(v), 0.0);
+}
+
+TEST(PresentPfa, ResetClears) {
+  PresentPfa pfa;
+  pfa.add_ciphertext(0x123456789abcdef0ULL);
+  EXPECT_EQ(pfa.ciphertext_count(), 1u);
+  pfa.reset();
+  EXPECT_EQ(pfa.ciphertext_count(), 0u);
+}
+
+}  // namespace
+}  // namespace explframe::fault

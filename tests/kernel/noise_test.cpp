@@ -1,0 +1,65 @@
+#include "kernel/noise.hpp"
+
+#include <gtest/gtest.h>
+
+namespace explframe::kernel {
+namespace {
+
+SystemConfig cfg() {
+  SystemConfig c;
+  c.memory_bytes = 64 * kMiB;
+  c.num_cpus = 1;
+  c.dram.weak_cells.cells_per_mib = 0.0;
+  return c;
+}
+
+TEST(NoiseWorkload, AllocatesAndReleases) {
+  System sys(cfg());
+  Task& t = sys.spawn("noise", 0);
+  NoiseWorkload noise(sys, t, {}, 3);
+  noise.run(500);
+  EXPECT_GT(noise.pages_allocated(), 0u);
+  EXPECT_GT(noise.pages_released(), 0u);
+  sys.allocator().verify();
+}
+
+TEST(NoiseWorkload, DeterministicForSeed) {
+  System a(cfg()), b(cfg());
+  Task& ta = a.spawn("noise", 0);
+  Task& tb = b.spawn("noise", 0);
+  NoiseWorkload na(a, ta, {}, 42);
+  NoiseWorkload nb(b, tb, {}, 42);
+  na.run(300);
+  nb.run(300);
+  EXPECT_EQ(na.pages_allocated(), nb.pages_allocated());
+  EXPECT_EQ(na.pages_released(), nb.pages_released());
+  EXPECT_EQ(a.stats().page_faults, b.stats().page_faults);
+}
+
+TEST(NoiseWorkload, RespectsRegionCap) {
+  System sys(cfg());
+  Task& t = sys.spawn("noise", 0);
+  NoiseConfig nc;
+  nc.max_live_regions = 4;
+  nc.alloc_bias = 1.0;  // always allocate if below cap
+  NoiseWorkload noise(sys, t, nc, 7);
+  noise.run(100);
+  // With the cap at 4, at most 4 * max_pages pages can be live; the rest
+  // must have been released.
+  EXPECT_GE(noise.pages_allocated(),
+            noise.pages_released());
+  EXPECT_LE(noise.pages_allocated() - noise.pages_released(),
+            4ull * nc.max_pages);
+}
+
+TEST(NoiseWorkload, ChurnsThePcpCache) {
+  System sys(cfg());
+  Task& t = sys.spawn("noise", 0);
+  const auto hits_before = sys.allocator().stats().pcp_alloc_hits;
+  NoiseWorkload noise(sys, t, {}, 11);
+  noise.run(200);
+  EXPECT_GT(sys.allocator().stats().pcp_alloc_hits, hits_before);
+}
+
+}  // namespace
+}  // namespace explframe::kernel

@@ -1,0 +1,92 @@
+#include "kernel/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernel/system.hpp"
+
+namespace explframe::kernel {
+namespace {
+
+SystemConfig cfg() {
+  SystemConfig c;
+  c.memory_bytes = 64 * kMiB;
+  c.num_cpus = 2;
+  c.dram.weak_cells.cells_per_mib = 0.0;
+  return c;
+}
+
+TEST(Scheduler, RoundRobinCyclesTasks) {
+  System sys(cfg());
+  Scheduler sched(2);
+  Task& a = sys.spawn("a", 0);
+  Task& b = sys.spawn("b", 0);
+  sched.add(a);
+  sched.add(b);
+  Task* first = sched.pick_next(0);
+  Task* second = sched.pick_next(0);
+  Task* third = sched.pick_next(0);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(first, third);
+}
+
+TEST(Scheduler, EmptyCpuReturnsNull) {
+  Scheduler sched(2);
+  EXPECT_EQ(sched.pick_next(1), nullptr);
+}
+
+TEST(Scheduler, SleepingTasksSkipped) {
+  System sys(cfg());
+  Scheduler sched(2);
+  Task& a = sys.spawn("a", 0);
+  Task& b = sys.spawn("b", 0);
+  sched.add(a);
+  sched.add(b);
+  a.set_state(TaskState::kSleeping);
+  EXPECT_EQ(sched.pick_next(0), &b);
+  EXPECT_EQ(sched.pick_next(0), &b);
+  a.set_state(TaskState::kRunnable);
+  b.set_state(TaskState::kSleeping);
+  EXPECT_EQ(sched.pick_next(0), &a);
+}
+
+TEST(Scheduler, AllSleepingReturnsNull) {
+  System sys(cfg());
+  Scheduler sched(1);
+  Task& a = sys.spawn("a", 0);
+  sched.add(a);
+  a.set_state(TaskState::kSleeping);
+  EXPECT_EQ(sched.pick_next(0), nullptr);
+}
+
+TEST(Scheduler, MigrateMovesTaskBetweenCpus) {
+  System sys(cfg());
+  Scheduler sched(2);
+  Task& a = sys.spawn("a", 0);
+  sched.add(a);
+  EXPECT_EQ(sched.runnable_on(0), 1u);
+  sched.migrate(a, 1);
+  EXPECT_EQ(a.cpu(), 1u);
+  EXPECT_EQ(sched.runnable_on(0), 0u);
+  EXPECT_EQ(sched.runnable_on(1), 1u);
+  EXPECT_EQ(sched.pick_next(1), &a);
+}
+
+TEST(Scheduler, RemoveDropsTask) {
+  System sys(cfg());
+  Scheduler sched(1);
+  Task& a = sys.spawn("a", 0);
+  sched.add(a);
+  sched.remove(a);
+  EXPECT_EQ(sched.pick_next(0), nullptr);
+}
+
+TEST(TaskStateNames, AllNamed) {
+  EXPECT_STREQ(to_string(TaskState::kRunnable), "runnable");
+  EXPECT_STREQ(to_string(TaskState::kSleeping), "sleeping");
+  EXPECT_STREQ(to_string(TaskState::kExited), "exited");
+}
+
+}  // namespace
+}  // namespace explframe::kernel

@@ -1,0 +1,164 @@
+#include "mm/buddy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace explframe::mm {
+namespace {
+
+class BuddyTest : public ::testing::Test {
+ protected:
+  BuddyTest() : db_(4096), buddy_(db_, 0, 4096, 0) {}
+  PageFrameDatabase db_;
+  BuddyAllocator buddy_;
+};
+
+TEST_F(BuddyTest, InitialStateAllFree) {
+  EXPECT_EQ(buddy_.free_pages(), 4096u);
+  // 4096 pages tile as 4 blocks of max order (1024 pages each).
+  EXPECT_EQ(buddy_.free_blocks(kMaxOrder - 1), 4u);
+  buddy_.verify();
+}
+
+TEST_F(BuddyTest, AllocOrderZero) {
+  const Pfn p = buddy_.alloc_block(0);
+  ASSERT_NE(p, kInvalidPfn);
+  EXPECT_EQ(buddy_.free_pages(), 4095u);
+  EXPECT_EQ(db_.at(p).state, PageState::kAllocated);
+  buddy_.verify();
+}
+
+TEST_F(BuddyTest, SplitPathRecorded) {
+  std::vector<SplitTraceEntry> trace;
+  const Pfn p = buddy_.alloc_block(0, &trace);
+  ASSERT_NE(p, kInvalidPfn);
+  // One max-order block was split all the way down to order 0.
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].from_order, kMaxOrder - 1);
+  EXPECT_EQ(trace[0].to_order, 0u);
+  EXPECT_EQ(buddy_.stats().splits, kMaxOrder - 1);
+  // The split left one free block at each order below max.
+  for (std::uint32_t o = 0; o + 1 < kMaxOrder; ++o)
+    EXPECT_EQ(buddy_.free_blocks(o), 1u) << o;
+}
+
+TEST_F(BuddyTest, FreeCoalescesBackToMaxOrder) {
+  const Pfn p = buddy_.alloc_block(0);
+  buddy_.free_block(p, 0);
+  EXPECT_EQ(buddy_.free_pages(), 4096u);
+  EXPECT_EQ(buddy_.free_blocks(kMaxOrder - 1), 4u);
+  EXPECT_EQ(buddy_.stats().coalesces, kMaxOrder - 1);
+  buddy_.verify();
+}
+
+TEST_F(BuddyTest, BuddyOfAllocatedBlockNotMerged) {
+  const Pfn a = buddy_.alloc_block(0);
+  const Pfn b = buddy_.alloc_block(0);
+  ASSERT_EQ(b, a ^ 1);  // addresses are buddies
+  buddy_.free_block(a, 0);
+  // b still allocated: a must stay order 0.
+  EXPECT_EQ(buddy_.free_blocks(0), 1u);
+  buddy_.free_block(b, 0);
+  EXPECT_EQ(buddy_.free_blocks(0), 0u);
+  EXPECT_EQ(buddy_.free_pages(), 4096u);
+  buddy_.verify();
+}
+
+TEST_F(BuddyTest, HigherOrderAllocation) {
+  const Pfn p = buddy_.alloc_block(5);
+  ASSERT_NE(p, kInvalidPfn);
+  EXPECT_EQ(p % 32, 0u);  // naturally aligned
+  EXPECT_EQ(buddy_.free_pages(), 4096u - 32);
+  for (Pfn i = 0; i < 32; ++i)
+    EXPECT_EQ(db_.at(p + i).state, PageState::kAllocated);
+  buddy_.free_block(p, 5);
+  EXPECT_EQ(buddy_.free_pages(), 4096u);
+  buddy_.verify();
+}
+
+TEST_F(BuddyTest, ExhaustionFailsCleanly) {
+  std::vector<Pfn> held;
+  for (;;) {
+    const Pfn p = buddy_.alloc_block(0);
+    if (p == kInvalidPfn) break;
+    held.push_back(p);
+  }
+  EXPECT_EQ(held.size(), 4096u);
+  EXPECT_EQ(buddy_.free_pages(), 0u);
+  EXPECT_GT(buddy_.stats().failed, 0u);
+  // All pfns unique.
+  std::set<Pfn> uniq(held.begin(), held.end());
+  EXPECT_EQ(uniq.size(), held.size());
+  for (const Pfn p : held) buddy_.free_block(p, 0);
+  EXPECT_EQ(buddy_.free_blocks(kMaxOrder - 1), 4u);
+  buddy_.verify();
+}
+
+TEST_F(BuddyTest, MixedOrderChurnPreservesInvariants) {
+  Rng rng(2024);
+  struct Held {
+    Pfn pfn;
+    std::uint32_t order;
+  };
+  std::vector<Held> held;
+  for (int step = 0; step < 5000; ++step) {
+    if (held.empty() || rng.bernoulli(0.55)) {
+      const auto order = static_cast<std::uint32_t>(rng.uniform(6));
+      const Pfn p = buddy_.alloc_block(order);
+      if (p != kInvalidPfn) held.push_back({p, order});
+    } else {
+      const std::size_t i = rng.uniform(held.size());
+      buddy_.free_block(held[i].pfn, held[i].order);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    if (step % 500 == 0) buddy_.verify();
+  }
+  for (const auto& h : held) buddy_.free_block(h.pfn, h.order);
+  EXPECT_EQ(buddy_.free_pages(), 4096u);
+  buddy_.verify();
+}
+
+TEST(BuddyOddSize, NonPowerOfTwoRangeTiles) {
+  PageFrameDatabase db(1000);
+  BuddyAllocator buddy(db, 0, 1000, 0);
+  EXPECT_EQ(buddy.free_pages(), 1000u);
+  buddy.verify();
+  // Allocate everything as order 0 and give it back.
+  std::vector<Pfn> held;
+  for (;;) {
+    const Pfn p = buddy.alloc_block(0);
+    if (p == kInvalidPfn) break;
+    held.push_back(p);
+  }
+  EXPECT_EQ(held.size(), 1000u);
+  for (const Pfn p : held) buddy.free_block(p, 0);
+  EXPECT_EQ(buddy.free_pages(), 1000u);
+  buddy.verify();
+}
+
+TEST(BuddyOffsetRange, StartPfnRespected) {
+  PageFrameDatabase db(2048);
+  BuddyAllocator buddy(db, 1024, 1024, 3);
+  const Pfn p = buddy.alloc_block(0);
+  EXPECT_GE(p, 1024u);
+  EXPECT_LT(p, 2048u);
+  EXPECT_EQ(db.at(p).zone_index, 3);
+  buddy.free_block(p, 0);
+  buddy.verify();
+}
+
+TEST(BuddyInfo, ReportsPerOrderCounts) {
+  PageFrameDatabase db(4096);
+  BuddyAllocator buddy(db, 0, 4096, 0);
+  (void)buddy.alloc_block(0);
+  const auto info = buddy.buddyinfo();
+  EXPECT_EQ(info[kMaxOrder - 1], 3u);
+  for (std::uint32_t o = 0; o + 1 < kMaxOrder; ++o) EXPECT_EQ(info[o], 1u);
+}
+
+}  // namespace
+}  // namespace explframe::mm

@@ -1,0 +1,98 @@
+// 32-bit (HIGHMEM) zone layout — paper §III describes both architectures.
+#include <gtest/gtest.h>
+
+#include "mm/page_allocator.hpp"
+
+namespace explframe::mm {
+namespace {
+
+AllocatorConfig cfg32(std::uint64_t mib) {
+  AllocatorConfig cfg;
+  cfg.total_bytes = mib * kMiB;
+  cfg.arch = Arch::kX86_32;
+  cfg.num_cpus = 1;
+  return cfg;
+}
+
+TEST(Zone32, CarvingWithHighmem) {
+  PageAllocator alloc(cfg32(2048));  // 2 GiB machine
+  ASSERT_EQ(alloc.zone_count(), 3u);
+  EXPECT_EQ(alloc.zone(0).type(), ZoneType::kDma);
+  EXPECT_EQ(alloc.zone(1).type(), ZoneType::kNormal);
+  EXPECT_EQ(alloc.zone(2).type(), ZoneType::kHighMem);
+  // 16 MiB and 896 MiB boundaries.
+  EXPECT_EQ(alloc.zone(0).end_pfn(), (16 * kMiB) / kPageSize);
+  EXPECT_EQ(alloc.zone(1).start_pfn(), (16 * kMiB) / kPageSize);
+  EXPECT_EQ(alloc.zone(1).end_pfn(), (896 * kMiB) / kPageSize);
+  EXPECT_EQ(alloc.zone(2).start_pfn(), (896 * kMiB) / kPageSize);
+  EXPECT_EQ(alloc.zone(2).end_pfn(), (2048ull * kMiB) / kPageSize);
+  EXPECT_STREQ(to_string(ZoneType::kHighMem), "HighMem");
+}
+
+TEST(Zone32, SmallMachineHasNoHighmem) {
+  PageAllocator alloc(cfg32(512));
+  ASSERT_EQ(alloc.zone_count(), 2u);
+  EXPECT_EQ(alloc.zone(0).type(), ZoneType::kDma);
+  EXPECT_EQ(alloc.zone(1).type(), ZoneType::kNormal);
+}
+
+TEST(Zone32, UserAllocationsPreferHighmem) {
+  PageAllocator alloc(cfg32(2048));
+  const auto a = alloc.alloc_pages(0, GfpFlags::user(), 0, 1);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(alloc.zone(a->zone_index).type(), ZoneType::kHighMem);
+}
+
+TEST(Zone32, KernelAllocationsNeverUseHighmem) {
+  PageAllocator alloc(cfg32(2048));
+  for (int i = 0; i < 200; ++i) {
+    const auto a = alloc.alloc_pages(0, GfpFlags::kernel(), 0, 1);
+    ASSERT_TRUE(a);
+    EXPECT_NE(alloc.zone(a->zone_index).type(), ZoneType::kHighMem);
+  }
+}
+
+TEST(Zone32, ZonelistOrderForHighUser) {
+  PageAllocator alloc(cfg32(2048));
+  const auto list = alloc.zonelist(GfpZonePreference::kHighUser);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(alloc.zone(list[0]).type(), ZoneType::kHighMem);
+  EXPECT_EQ(alloc.zone(list[1]).type(), ZoneType::kNormal);
+  EXPECT_EQ(alloc.zone(list[2]).type(), ZoneType::kDma);
+}
+
+TEST(Zone32, ZonelistOrderForKernel) {
+  PageAllocator alloc(cfg32(2048));
+  const auto list = alloc.zonelist(GfpZonePreference::kNormal);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(alloc.zone(list[0]).type(), ZoneType::kNormal);
+  EXPECT_EQ(alloc.zone(list[1]).type(), ZoneType::kDma);
+}
+
+TEST(Zone64, HighUserFallsBackToNormalOn64Bit) {
+  AllocatorConfig cfg;
+  cfg.total_bytes = 64 * kMiB;
+  cfg.num_cpus = 1;
+  PageAllocator alloc(cfg);
+  const auto a = alloc.alloc_pages(0, GfpFlags::user(), 0, 1);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(alloc.zone(a->zone_index).type(), ZoneType::kDma32);
+  const auto list = alloc.zonelist(GfpZonePreference::kHighUser);
+  EXPECT_EQ(list.size(), 2u);  // no HIGHMEM zone on x86-64
+}
+
+TEST(Zone32, PcpReuseWorksInHighmem) {
+  // The paper's exploit mechanism is identical inside ZONE_HIGHMEM: caches
+  // are per (zone, cpu).
+  PageAllocator alloc(cfg32(2048));
+  const auto a = alloc.alloc_pages(0, GfpFlags::user(), 0, 1);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(alloc.zone(a->zone_index).type(), ZoneType::kHighMem);
+  alloc.free_pages(a->pfn, 0, 0);
+  const auto b = alloc.alloc_pages(0, GfpFlags::user(), 0, 2);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->pfn, a->pfn);
+}
+
+}  // namespace
+}  // namespace explframe::mm

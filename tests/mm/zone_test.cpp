@@ -1,0 +1,67 @@
+#include "mm/zone.hpp"
+
+#include <gtest/gtest.h>
+
+namespace explframe::mm {
+namespace {
+
+TEST(Watermarks, ScaleWithZoneSize) {
+  const auto small = Watermarks::for_zone_pages(1024);
+  const auto large = Watermarks::for_zone_pages(65536);
+  EXPECT_LT(small.min, large.min);
+  EXPECT_LT(small.min, small.low);
+  EXPECT_LT(small.low, small.high);
+}
+
+TEST(Watermarks, MinimumFloor) {
+  const auto tiny = Watermarks::for_zone_pages(100);
+  EXPECT_GE(tiny.min, 8u);
+}
+
+TEST(Zone, ConstructionAndAccessors) {
+  PageFrameDatabase db(8192);
+  Zone zone(ZoneType::kDma32, 1, db, 1024, 4096, 2, PcpConfig{});
+  EXPECT_EQ(zone.type(), ZoneType::kDma32);
+  EXPECT_EQ(zone.index(), 1);
+  EXPECT_EQ(zone.start_pfn(), 1024u);
+  EXPECT_EQ(zone.end_pfn(), 5120u);
+  EXPECT_EQ(zone.pages(), 4096u);
+  EXPECT_EQ(zone.num_cpus(), 2u);
+  EXPECT_TRUE(zone.contains(1024));
+  EXPECT_TRUE(zone.contains(5119));
+  EXPECT_FALSE(zone.contains(1023));
+  EXPECT_FALSE(zone.contains(5120));
+  EXPECT_EQ(zone.name(), "DMA32");
+}
+
+TEST(Zone, PcpPagesAccounting) {
+  PageFrameDatabase db(8192);
+  Zone zone(ZoneType::kNormal, 0, db, 0, 8192, 2, PcpConfig{});
+  EXPECT_EQ(zone.pcp_pages(), 0u);
+  zone.pcp(0).put(1);
+  zone.pcp(1).put(2);
+  zone.pcp(1).put(3);
+  EXPECT_EQ(zone.pcp_pages(), 3u);
+}
+
+TEST(Zone, FreePagesExcludesPcp) {
+  PageFrameDatabase db(4096);
+  Zone zone(ZoneType::kDma, 0, db, 0, 4096, 1, PcpConfig{});
+  const auto before = zone.free_pages();
+  const Pfn p = zone.buddy().alloc_block(0);
+  EXPECT_EQ(zone.free_pages(), before - 1);
+  db.at(p).state = PageState::kPcp;
+  zone.pcp(0).put(p);
+  // Frame moved to pcp, not back to buddy: zone free count unchanged.
+  EXPECT_EQ(zone.free_pages(), before - 1);
+  EXPECT_EQ(zone.pcp_pages(), 1u);
+}
+
+TEST(ZoneTypeNames, AllNamed) {
+  EXPECT_STREQ(to_string(ZoneType::kDma), "DMA");
+  EXPECT_STREQ(to_string(ZoneType::kDma32), "DMA32");
+  EXPECT_STREQ(to_string(ZoneType::kNormal), "Normal");
+}
+
+}  // namespace
+}  // namespace explframe::mm

@@ -1,0 +1,214 @@
+// Parameterized property sweeps: the core invariants checked across the
+// configuration space rather than at single points.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "dram/address_mapping.hpp"
+#include "kernel/system.hpp"
+#include "mm/page_allocator.hpp"
+#include "support/rng.hpp"
+
+namespace explframe {
+namespace {
+
+// ---------------------------------------------------------------- buddy --
+
+class BuddyChurnSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BuddyChurnSweep, AccountingHoldsUnderChurn) {
+  const std::uint64_t pages = GetParam();
+  mm::PageFrameDatabase db(pages);
+  mm::BuddyAllocator buddy(db, 0, pages, 0);
+  Rng rng(pages * 17 + 1);
+  struct Held {
+    mm::Pfn pfn;
+    std::uint32_t order;
+  };
+  std::vector<Held> held;
+  for (int step = 0; step < 3000; ++step) {
+    if (held.empty() || rng.bernoulli(0.55)) {
+      const auto order = static_cast<std::uint32_t>(rng.uniform(5));
+      const mm::Pfn p = buddy.alloc_block(order);
+      if (p != mm::kInvalidPfn) held.push_back({p, order});
+    } else {
+      const std::size_t i = rng.uniform(held.size());
+      buddy.free_block(held[i].pfn, held[i].order);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  buddy.verify();
+  std::uint64_t held_pages = 0;
+  for (const auto& h : held) held_pages += mm::Pfn{1} << h.order;
+  EXPECT_EQ(buddy.free_pages() + held_pages, pages);
+  for (const auto& h : held) buddy.free_block(h.pfn, h.order);
+  EXPECT_EQ(buddy.free_pages(), pages);
+  buddy.verify();
+}
+
+INSTANTIATE_TEST_SUITE_P(ZoneSizes, BuddyChurnSweep,
+                         ::testing::Values(33, 100, 1000, 1024, 4095, 4096,
+                                           8192, 10000));
+
+// -------------------------------------------------------- page allocator --
+
+struct AllocatorSweepParam {
+  mm::Arch arch;
+  std::uint32_t cpus;
+  std::uint32_t pcp_high;
+  std::uint32_t pcp_batch;
+  bool lifo;
+};
+
+class AllocatorSweep : public ::testing::TestWithParam<AllocatorSweepParam> {};
+
+TEST_P(AllocatorSweep, TotalPagesConserved) {
+  const auto p = GetParam();
+  mm::AllocatorConfig cfg;
+  cfg.total_bytes = 64 * kMiB;
+  cfg.arch = p.arch;
+  cfg.num_cpus = p.cpus;
+  cfg.pcp = {p.pcp_high, p.pcp_batch, p.lifo};
+  mm::PageAllocator alloc(cfg);
+  Rng rng(p.cpus * 1000 + p.pcp_high);
+  struct Held {
+    mm::Pfn pfn;
+    std::uint32_t order;
+    std::uint32_t cpu;
+  };
+  std::vector<Held> held;
+  for (int step = 0; step < 8000; ++step) {
+    if (held.empty() || rng.bernoulli(0.5)) {
+      const auto order = static_cast<std::uint32_t>(rng.uniform(3));
+      const auto cpu = static_cast<std::uint32_t>(rng.uniform(p.cpus));
+      const auto a =
+          alloc.alloc_pages(order, mm::GfpFlags::user(), cpu, 1);
+      if (a) held.push_back({a->pfn, a->order, cpu});
+    } else {
+      const std::size_t i = rng.uniform(held.size());
+      alloc.free_pages(held[i].pfn, held[i].order, held[i].cpu);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  alloc.verify();
+  // Conservation: free + pcp + held == managed.
+  std::uint64_t managed = 0, pcp = 0;
+  for (std::size_t z = 0; z < alloc.zone_count(); ++z) {
+    managed += alloc.zone(z).pages();
+    pcp += alloc.zone(z).pcp_pages();
+  }
+  std::uint64_t held_pages = 0;
+  for (const auto& h : held) held_pages += mm::Pfn{1} << h.order;
+  EXPECT_EQ(alloc.global_free_pages() + pcp + held_pages, managed);
+}
+
+TEST_P(AllocatorSweep, LifoReuseProperty) {
+  const auto p = GetParam();
+  mm::AllocatorConfig cfg;
+  cfg.total_bytes = 64 * kMiB;
+  cfg.arch = p.arch;
+  cfg.num_cpus = p.cpus;
+  cfg.pcp = {p.pcp_high, p.pcp_batch, p.lifo};
+  mm::PageAllocator alloc(cfg);
+  // Warm the pcp, then check the policy-defined reuse behaviour.
+  const auto warm = alloc.alloc_pages(0, mm::GfpFlags::user(), 0, 1);
+  ASSERT_TRUE(warm);
+  const auto a = alloc.alloc_pages(0, mm::GfpFlags::user(), 0, 1);
+  ASSERT_TRUE(a);
+  alloc.free_pages(a->pfn, 0, 0);
+  const auto b = alloc.alloc_pages(0, mm::GfpFlags::user(), 0, 2);
+  ASSERT_TRUE(b);
+  if (p.lifo) {
+    EXPECT_EQ(b->pfn, a->pfn);  // the paper's property
+  } else {
+    EXPECT_NE(b->pfn, a->pfn);  // FIFO: the freed frame waits in line
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, AllocatorSweep,
+    ::testing::Values(
+        AllocatorSweepParam{mm::Arch::kX86_64, 1, 186, 31, true},
+        AllocatorSweepParam{mm::Arch::kX86_64, 2, 186, 31, true},
+        AllocatorSweepParam{mm::Arch::kX86_64, 4, 16, 8, true},
+        AllocatorSweepParam{mm::Arch::kX86_64, 2, 64, 31, false},
+        AllocatorSweepParam{mm::Arch::kX86_32, 2, 186, 31, true},
+        AllocatorSweepParam{mm::Arch::kX86_32, 1, 16, 4, false}));
+
+// -------------------------------------------------------- address mapping --
+
+struct MappingSweepParam {
+  std::uint32_t channels, ranks, banks, rows;
+  dram::MappingScheme scheme;
+};
+
+class MappingSweep : public ::testing::TestWithParam<MappingSweepParam> {};
+
+TEST_P(MappingSweep, BijectiveOverFullSpace) {
+  const auto p = GetParam();
+  dram::Geometry g;
+  g.channels = p.channels;
+  g.ranks = p.ranks;
+  g.banks = p.banks;
+  g.rows_per_bank = p.rows;
+  g.row_bytes = 8192;
+  dram::AddressMapping map(g, p.scheme);
+  Rng rng(p.banks * 7 + p.rows);
+  std::set<std::uint64_t> seen_rows;
+  for (int i = 0; i < 5000; ++i) {
+    const dram::PhysAddr a = rng.uniform(g.total_bytes());
+    const auto c = map.decode(a);
+    EXPECT_EQ(map.encode(c), a);
+    seen_rows.insert(dram::flat_row(g, c));
+    EXPECT_LT(dram::flat_row(g, c), g.total_rows());
+  }
+  // Sampling covers a healthy spread of rows.
+  EXPECT_GT(seen_rows.size(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, MappingSweep,
+    ::testing::Values(
+        MappingSweepParam{1, 1, 8, 1024, dram::MappingScheme::kRowMajor},
+        MappingSweepParam{1, 1, 8, 1024, dram::MappingScheme::kBankXor},
+        MappingSweepParam{2, 2, 8, 512, dram::MappingScheme::kRowMajor},
+        MappingSweepParam{2, 2, 8, 512, dram::MappingScheme::kBankXor},
+        MappingSweepParam{1, 2, 16, 2048, dram::MappingScheme::kRowMajor},
+        MappingSweepParam{4, 1, 4, 4096, dram::MappingScheme::kBankXor}));
+
+// --------------------------------------------------------- system/steering --
+
+class SteeringSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SteeringSweep, MunmapReallocPropertyAcrossCpuCounts) {
+  const std::uint32_t cpus = GetParam();
+  kernel::SystemConfig cfg;
+  cfg.memory_bytes = 64 * kMiB;
+  cfg.num_cpus = cpus;
+  cfg.dram.weak_cells.cells_per_mib = 0.0;
+  kernel::System sys(cfg);
+  for (std::uint32_t cpu = 0; cpu < cpus; ++cpu) {
+    kernel::Task& a = sys.spawn("rel", cpu);
+    kernel::Task& b = sys.spawn("acq", cpu);
+    for (kernel::Task* t : {&a, &b}) {
+      const vm::VirtAddr w = sys.sys_mmap(*t, kPageSize);
+      const std::uint8_t wb = 1;
+      ASSERT_TRUE(sys.mem_write(*t, w, {&wb, 1}));
+    }
+    const vm::VirtAddr va = sys.sys_mmap(a, kPageSize);
+    const std::uint8_t byte = 2;
+    ASSERT_TRUE(sys.mem_write(a, va, {&byte, 1}));
+    const mm::Pfn released = sys.translate(a, va);
+    sys.sys_munmap(a, va, kPageSize);
+    const vm::VirtAddr vb = sys.sys_mmap(b, kPageSize);
+    ASSERT_TRUE(sys.mem_write(b, vb, {&byte, 1}));
+    EXPECT_EQ(sys.translate(b, vb), released) << "cpu " << cpu;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CpuCounts, SteeringSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace explframe

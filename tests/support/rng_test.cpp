@@ -1,0 +1,137 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+namespace explframe {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(99);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.next());
+  a.reseed(99);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  EXPECT_EQ(rng.uniform(0), 0u);
+  EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_range(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, FillBytesFillsEverything) {
+  Rng rng(41);
+  std::array<std::uint8_t, 37> buf{};
+  rng.fill_bytes(buf);
+  // All-zero after fill is astronomically unlikely.
+  int nonzero = 0;
+  for (const auto b : buf)
+    if (b != 0) ++nonzero;
+  EXPECT_GT(nonzero, 20);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(55);
+  Rng child = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == child.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, GeometricZeroWhenCertain) {
+  Rng rng(61);
+  EXPECT_EQ(rng.geometric(1.0), 0u);
+  // With p = 0.5 the mean number of failures is 1.
+  double total = 0;
+  for (int i = 0; i < 5000; ++i) total += static_cast<double>(rng.geometric(0.5));
+  EXPECT_NEAR(total / 5000.0, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace explframe

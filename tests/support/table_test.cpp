@@ -1,0 +1,66 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace explframe {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.row("alpha", 1);
+  t.row("beta", 2);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"a", "long-header"});
+  t.row("xxxxxxxxxx", 1);
+  const std::string out = t.render();
+  // Every line between rules must have the same length.
+  std::istringstream is(out);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(Table, DoubleFormattingTrimsZeros) {
+  EXPECT_EQ(Table::to_cell(1.5), "1.5");
+  EXPECT_EQ(Table::to_cell(2.0), "2.0");
+  EXPECT_EQ(Table::to_cell(0.125), "0.125");
+}
+
+TEST(Table, DoubleFormattingScientificForExtremes) {
+  const std::string tiny = Table::to_cell(1e-9);
+  EXPECT_NE(tiny.find('e'), std::string::npos);
+  const std::string huge = Table::to_cell(3.2e12);
+  EXPECT_NE(huge.find('e'), std::string::npos);
+}
+
+TEST(Table, PercentFormatting) {
+  EXPECT_EQ(Table::percent(0.5), "50.0%");
+  EXPECT_EQ(Table::percent(1.0, 0), "100%");
+  EXPECT_EQ(Table::percent(0.987, 2), "98.70%");
+}
+
+TEST(Table, BoolCells) {
+  EXPECT_EQ(Table::to_cell(true), "yes");
+  EXPECT_EQ(Table::to_cell(false), "no");
+}
+
+TEST(Table, BannerContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "EXP-T1");
+  EXPECT_NE(os.str().find("EXP-T1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace explframe

@@ -1,0 +1,44 @@
+#include "vm/pagemap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace explframe::vm {
+namespace {
+
+TEST(Pagemap, PrivilegedReaderSeesPfn) {
+  AddressSpace space;
+  const VirtAddr a = space.mmap(kPageSize);
+  space.page_table().map(a, 1234);
+  const auto entry = pagemap_read(space, a, /*cap_sys_admin=*/true);
+  EXPECT_TRUE(entry.present);
+  EXPECT_EQ(entry.pfn, 1234u);
+}
+
+TEST(Pagemap, UnprivilegedReaderSeesZeroPfn) {
+  // Linux >= 4.0 behaviour the paper's threat model depends on.
+  AddressSpace space;
+  const VirtAddr a = space.mmap(kPageSize);
+  space.page_table().map(a, 1234);
+  const auto entry = pagemap_read(space, a, /*cap_sys_admin=*/false);
+  EXPECT_TRUE(entry.present);
+  EXPECT_EQ(entry.pfn, 0u);
+}
+
+TEST(Pagemap, NotPresentPage) {
+  AddressSpace space;
+  const VirtAddr a = space.mmap(kPageSize);
+  const auto entry = pagemap_read(space, a, true);
+  EXPECT_FALSE(entry.present);
+  EXPECT_EQ(entry.pfn, 0u);
+}
+
+TEST(Pagemap, SubPageOffsetsResolveToSameEntry) {
+  AddressSpace space;
+  const VirtAddr a = space.mmap(kPageSize);
+  space.page_table().map(a, 55);
+  EXPECT_EQ(pagemap_read(space, a + 123, true).pfn, 55u);
+  EXPECT_EQ(pagemap_read(space, a + kPageSize - 1, true).pfn, 55u);
+}
+
+}  // namespace
+}  // namespace explframe::vm
