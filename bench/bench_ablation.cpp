@@ -31,11 +31,12 @@ bool steer_once(kernel::SystemConfig sys_cfg, std::uint64_t seed,
   sys_cfg.seed = seed;
   kernel::System sys(sys_cfg);
   kernel::Task& attacker = sys.spawn("attacker", 0);
+  const crypto::TableCipher& cipher =
+      crypto::cipher_for(crypto::CipherKind::kAes128);
   VictimConfig vc;
-  Rng rng(seed);
-  rng.fill_bytes(vc.key);
+  vc.key = crypto::random_key(cipher, seed);
   vc.warm_up = victim_warm;
-  VictimAesService victim(sys, 0, vc);
+  VictimCipherService victim(sys, 0, cipher, vc);
   victim.start();
 
   const vm::VirtAddr va = sys.sys_mmap(attacker, 8 * kPageSize);

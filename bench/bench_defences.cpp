@@ -1,15 +1,21 @@
 // EXP-D1 — Countermeasure evaluation (extension).
 //
-// Runs the full ExplFrame pipeline against hardware mitigations:
+// Runs the full ExplFrame campaign against hardware mitigations:
 //   * none            — baseline vulnerable module;
 //   * TRR             — in-DRAM target row refresh (post-2014 parts);
 //   * SECDED ECC      — server memory, single-bit correction on read;
 //   * TRR + ECC       — both.
 // Also reports where in the pipeline each mitigation stops the attack and
-// the mitigation-side counters (interventions / corrections).
+// the mitigation-side counters (interventions / corrections). Each defence
+// is a SystemConfig entry driven through the same CampaignConfig — not a
+// code change. Trials run individually (not via CampaignRunner) because the
+// mitigation counters live on each trial's System, which the runner owns
+// transiently; the per-trial seeds still come from CampaignRunner so the
+// sweep is reproducible trial by trial.
 #include <iostream>
+#include <map>
 
-#include "attack/explframe.hpp"
+#include "attack/campaign_runner.hpp"
 #include "common.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -28,15 +34,12 @@ struct DefenceSpec {
   bool ecc;
 };
 
-ExplFrameConfig attack_cfg(std::uint64_t seed) {
-  ExplFrameConfig cfg;
+CampaignConfig campaign_cfg() {
+  CampaignConfig cfg;
   cfg.templating.buffer_bytes = 4 * kMiB;
   cfg.templating.hammer_iterations = 100'000;
   cfg.templating.max_rows = 192;  // the attacker's time budget
-  Rng rng(seed * 977 + 5);
-  rng.fill_bytes(cfg.victim.key);
   cfg.ciphertext_budget = 8000;
-  cfg.seed = seed;
   return cfg;
 }
 
@@ -60,35 +63,52 @@ int main() {
   for (const DefenceSpec& spec : specs) {
     std::size_t templated = 0, success = 0;
     Samples trr_hits, ecc_corr;
-    std::string stage = "none";
+    std::map<std::string, std::uint32_t> stages;
     for (std::uint32_t i = 0; i < kTrials; ++i) {
-      kernel::SystemConfig sys_cfg = vulnerable_system(300 + i);
+      const auto [sys_seed, camp_seed] = CampaignRunner::trial_seeds(300, i);
+      kernel::SystemConfig sys_cfg = vulnerable_system(0);
+      sys_cfg.seed = sys_seed;
       sys_cfg.dram.trr.enabled = spec.trr;
       sys_cfg.dram.trr.threshold = 12'000;
       sys_cfg.dram.ecc.enabled = spec.ecc;
       kernel::System sys(sys_cfg);
-      ExplFrameAttack attack(sys, attack_cfg(300 + i));
-      const auto r = attack.run();
+      CampaignConfig camp = campaign_cfg();
+      camp.seed = camp_seed;
+      const CampaignReport r = ExplFrameCampaign(sys, camp).run();
       templated += r.template_found;
       success += r.success;
-      if (!r.success) stage = r.failure_stage();
+      if (!r.success) ++stages[r.failure_stage()];
       trr_hits.add(static_cast<double>(sys.dram().trr_interventions()));
       ecc_corr.add(static_cast<double>(sys.dram().ecc_corrected_bits()));
     }
-    const auto pt = wilson_interval(templated, kTrials);
-    const auto ps = wilson_interval(success, kTrials);
-    std::string counters;
-    if (spec.trr)
-      counters += "TRR interventions " +
-                  std::to_string(static_cast<long>(trr_hits.mean()));
-    if (spec.ecc) {
-      if (!counters.empty()) counters += ", ";
-      counters += "ECC corrections " +
-                  std::to_string(static_cast<long>(ecc_corr.mean()));
+
+    std::string stage = "none";
+    std::uint32_t stage_count = 0;
+    for (const auto& [name, count] : stages) {
+      if (count > stage_count) {
+        stage = name;
+        stage_count = count;
+      }
     }
-    if (counters.empty()) counters = "-";
-    t.row(spec.name, Table::percent(pt.p), Table::percent(ps.p),
-          success == kTrials ? "none" : stage, counters);
+
+    std::string counters = "-";
+    if (spec.trr || spec.ecc) {
+      counters.clear();
+      if (spec.trr) {
+        counters.append("TRR interventions ");
+        counters.append(std::to_string(static_cast<long>(trr_hits.mean())));
+      }
+      if (spec.ecc) {
+        if (spec.trr) counters.append(", ");
+        counters.append("ECC corrections ");
+        counters.append(std::to_string(static_cast<long>(ecc_corr.mean())));
+      }
+    }
+
+    t.row(spec.name,
+          Table::percent(static_cast<double>(templated) / kTrials),
+          Table::percent(static_cast<double>(success) / kTrials), stage,
+          counters);
   }
   t.print(std::cout);
 

@@ -1,13 +1,20 @@
 // EXP-T4 — End-to-end ExplFrame vs the spray baseline (the headline
-// experiment of the DATE'20 paper).
+// experiment of the DATE'20 paper), driven through the Campaign API.
 //
 // ExplFrame: template -> plant (munmap) -> steer -> re-hammer -> harvest
-// ciphertexts -> PFA key recovery. Baseline: blind unprivileged hammering
-// with no frame steering. Reported per phase, with the victim-corruption
-// probability contrast and the AES-128 key recovery outcome.
+// ciphertexts -> PFA key recovery, one CampaignRunner sweep across a worker
+// pool (one simulated machine per trial). Baseline: blind unprivileged
+// hammering with no frame steering. Reported per phase, with the
+// victim-corruption probability contrast and the AES-128 key recovery
+// outcome.
+//
+//   $ ./bench_explframe [--format=ascii|markdown|csv] [--threads=N]
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
 
-#include "attack/explframe.hpp"
+#include "attack/campaign_runner.hpp"
 #include "attack/spray.hpp"
 #include "common.hpp"
 #include "support/stats.hpp"
@@ -21,53 +28,38 @@ namespace {
 
 constexpr std::uint32_t kTrials = 12;
 
-ExplFrameConfig attack_cfg(std::uint64_t seed) {
-  ExplFrameConfig cfg;
-  cfg.templating.buffer_bytes = 4 * kMiB;
-  cfg.templating.hammer_iterations = 100'000;
-  cfg.templating.both_polarities = true;
-  Rng rng(seed * 7919 + 3);
-  rng.fill_bytes(cfg.victim.key);
-  cfg.ciphertext_budget = 8000;
-  cfg.seed = seed;
+TableFormat g_format = TableFormat::kAscii;
+
+RunnerConfig runner_cfg(std::uint32_t threads) {
+  RunnerConfig cfg;
+  cfg.trials = kTrials;
+  cfg.threads = threads;
+  cfg.system = vulnerable_system(/*seed=*/0);  // per-trial seed derived
+  cfg.campaign.cipher = crypto::CipherKind::kAes128;
+  cfg.campaign.templating.buffer_bytes = 4 * kMiB;
+  cfg.campaign.templating.hammer_iterations = 100'000;
+  cfg.campaign.templating.both_polarities = true;
+  cfg.campaign.ciphertext_budget = 8000;
+  cfg.seed = 100;
   return cfg;
 }
 
-void run_explframe() {
+void run_explframe(std::uint32_t threads) {
   std::cout << "\nExplFrame end-to-end, " << kTrials
-            << " independent machines (64 MiB, vulnerable DDR3 module):\n";
-  std::size_t templated = 0, steered = 0, faulted = 0, recovered = 0,
-              success = 0;
-  Samples rows_scanned, cts_used, sim_seconds;
-  for (std::uint32_t i = 0; i < kTrials; ++i) {
-    kernel::System sys(vulnerable_system(100 + i));
-    ExplFrameAttack attack(sys, attack_cfg(100 + i));
-    const auto r = attack.run();
-    templated += r.template_found;
-    steered += r.steered;
-    faulted += r.fault_injected;
-    recovered += r.key_recovered;
-    success += r.success;
-    rows_scanned.add(static_cast<double>(r.rows_scanned));
-    if (r.success) cts_used.add(static_cast<double>(r.ciphertexts_used));
-    sim_seconds.add(static_cast<double>(r.total_time) / kSecond);
-  }
-  Table t({"phase", "success", "rate"});
-  const auto pct = [&](std::size_t n) {
-    const auto ci = wilson_interval(n, kTrials);
-    return Table::percent(ci.p) + "  [" + Table::percent(ci.lo) + ", " +
-           Table::percent(ci.hi) + "]";
-  };
-  t.row("1 template (usable flip found)", templated, pct(templated));
-  t.row("3 steer (victim got planted frame)", steered, pct(steered));
-  t.row("4 fault injected into S-box", faulted, pct(faulted));
-  t.row("6 AES-128 key recovered (PFA)", recovered, pct(recovered));
-  t.row("overall success", success, pct(success));
-  t.print(std::cout);
-  std::cout << "mean rows templated: " << rows_scanned.mean()
-            << "; mean ciphertexts to unique key: " << cts_used.mean()
-            << "; mean simulated attack time: " << sim_seconds.mean()
+            << " independent machines (64 MiB, vulnerable DDR3 module), "
+            << threads << " worker threads:\n";
+  CampaignRunner runner(runner_cfg(threads));
+  const CampaignAggregate agg = runner.run();
+
+  agg.phase_table().print(std::cout, g_format);
+  std::cout << "mean rows templated: " << agg.rows_scanned.mean()
+            << "; mean ciphertexts to unique key: "
+            << agg.ciphertexts_used.mean()
+            << "; mean simulated attack time: " << agg.sim_seconds.mean()
             << " s\n";
+  std::cout << "sweep throughput: " << agg.trials << " trials in "
+            << agg.wall_seconds << " s wall = " << agg.trials_per_second()
+            << " trials/sec\n";
 }
 
 void run_spray_baseline() {
@@ -82,8 +74,6 @@ void run_spray_baseline() {
     cfg.buffer_bytes = 4 * kMiB;
     cfg.hammer_iterations = 100'000;
     cfg.pairs = 32;
-    Rng rng(100 + i);
-    rng.fill_bytes(cfg.victim.key);
     cfg.seed = 100 + i;
     SprayBaseline spray(sys, cfg);
     const auto r = spray.run();
@@ -96,7 +86,7 @@ void run_spray_baseline() {
         Table::percent(ci.p) + "  [" + Table::percent(ci.lo) + ", " +
             Table::percent(ci.hi) + "]");
   t.row("mean flips induced anywhere", flips.mean());
-  t.print(std::cout);
+  t.print(std::cout, g_format);
   std::cout << "\npaper claim: ExplFrame turns an untargeted fault primitive "
                "into a targeted one — the baseline flips bits *somewhere* "
                "but (almost) never in the victim's single page.\n";
@@ -104,10 +94,41 @@ void run_spray_baseline() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::uint32_t threads = 2;
+  const auto usage = [&] {
+    std::cerr << "usage: " << argv[0]
+              << " [--format=ascii|markdown|csv] [--threads=N]\n";
+    return 2;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      const std::string value = arg.substr(std::strlen("--format="));
+      const auto format = try_parse_table_format(value);
+      if (!format) {
+        std::cerr << "unknown table format '" << value << "'\n";
+        return usage();
+      }
+      g_format = *format;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const std::string value = arg.substr(std::strlen("--threads="));
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || parsed > 256) {
+        std::cerr << "bad --threads value '" << value << "' (want 1..256)\n";
+        return usage();
+      }
+      threads = static_cast<std::uint32_t>(parsed);
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return usage();
+    }
+  }
+  if (threads == 0) threads = 1;  // the runner clamps; keep the banner honest
   print_banner(std::cout,
                "EXP-T4: end-to-end ExplFrame vs spray baseline (SV+SVI)");
-  run_explframe();
+  run_explframe(threads);
   run_spray_baseline();
   return 0;
 }

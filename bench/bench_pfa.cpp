@@ -1,5 +1,5 @@
 // EXP-T5 — Persistent Fault Analysis data complexity (paper ref [12],
-// Zhang et al. TCHES 2018).
+// Zhang et al. TCHES 2018), driven through the fault::Analysis interface.
 //
 //   (a) remaining AES-128 key space vs number of faulty ciphertexts;
 //   (b) ciphertexts needed for a unique key: missing-value vs
@@ -10,6 +10,8 @@
 #include <iostream>
 
 #include "crypto/aes128.hpp"
+#include "crypto/table_cipher.hpp"
+#include "fault/analysis.hpp"
 #include "fault/injection.hpp"
 #include "fault/pfa_aes.hpp"
 #include "support/rng.hpp"
@@ -26,7 +28,7 @@ struct FaultedOracle {
   Aes128::Key key;
   Aes128::RoundKeys rk;
   std::array<std::uint8_t, 256> table;
-  std::uint8_t v, v_new;
+  FaultModel fault_model;
   Rng rng;
 
   explicit FaultedOracle(std::uint64_t seed) : rng(seed) {
@@ -37,8 +39,7 @@ struct FaultedOracle {
     fault.index = static_cast<std::uint16_t>(rng.uniform(256));
     fault.mask = static_cast<std::uint8_t>(1u << rng.uniform(8));
     const auto [before, after] = apply_fault(table, fault);
-    v = before;
-    v_new = after;
+    fault_model = {fault.index, fault.mask, before, after};
   }
 
   Aes128::Block next_ciphertext() {
@@ -52,6 +53,7 @@ void keyspace_curve() {
   std::cout << "\n(a) remaining key space vs ciphertexts (mean over 20 "
                "random key/fault pairs):\n";
   constexpr int kRepeats = 20;
+  const TableCipher& aes = cipher_for(CipherKind::kAes128);
   const std::vector<std::size_t> checkpoints = {125,  250,  500,  1000,
                                                 1500, 2000, 3000, 4000};
   Table t({"ciphertexts", "mean log2(keyspace), missing-value",
@@ -61,16 +63,18 @@ void keyspace_curve() {
     std::size_t unique = 0;
     for (int rep = 0; rep < kRepeats; ++rep) {
       FaultedOracle oracle(1000 + rep);
-      AesPfa pfa;
-      for (std::size_t i = 0; i < n; ++i)
-        pfa.add_ciphertext(oracle.next_ciphertext());
-      missing_bits.add(pfa.remaining_keyspace_log2(
-          PfaStrategy::kMissingValue, oracle.v, oracle.v_new));
-      ml_bits.add(pfa.remaining_keyspace_log2(PfaStrategy::kMaxLikelihood,
-                                              oracle.v, oracle.v_new));
-      if (pfa.recover_round10(PfaStrategy::kMissingValue, oracle.v,
-                              oracle.v_new))
-        ++unique;
+      const auto missing = make_analysis(AnalysisKind::kPfaMissingValue, aes,
+                                         oracle.fault_model);
+      const auto ml = make_analysis(AnalysisKind::kPfaMaxLikelihood, aes,
+                                    oracle.fault_model);
+      for (std::size_t i = 0; i < n; ++i) {
+        const Aes128::Block ct = oracle.next_ciphertext();
+        missing->add_ciphertext(ct);
+        ml->add_ciphertext(ct);
+      }
+      missing_bits.add(missing->remaining_keyspace_log2());
+      ml_bits.add(ml->remaining_keyspace_log2());
+      if (missing->recover_key()) ++unique;
     }
     t.row(n, missing_bits.mean(), ml_bits.mean(),
           Table::percent(static_cast<double>(unique) / kRepeats));
@@ -84,17 +88,18 @@ void ciphertexts_to_unique() {
   constexpr int kRepeats = 50;
   constexpr std::size_t kStep = 32;
   constexpr std::size_t kCap = 60'000;
+  const TableCipher& aes = cipher_for(CipherKind::kAes128);
   Samples missing_needed;
   for (int rep = 0; rep < kRepeats; ++rep) {
     FaultedOracle oracle(5000 + rep);
-    AesPfa pfa;
+    const auto missing = make_analysis(AnalysisKind::kPfaMissingValue, aes,
+                                       oracle.fault_model);
     std::size_t used = 0;
     while (used < kCap) {
       for (std::size_t i = 0; i < kStep; ++i)
-        pfa.add_ciphertext(oracle.next_ciphertext());
+        missing->add_ciphertext(oracle.next_ciphertext());
       used += kStep;
-      if (pfa.recover_round10(PfaStrategy::kMissingValue, oracle.v,
-                              oracle.v_new)) {
+      if (missing->recover_key()) {
         missing_needed.add(static_cast<double>(used));
         break;
       }
@@ -119,6 +124,8 @@ void ciphertexts_to_unique() {
     std::size_t correct = 0;
     for (int rep = 0; rep < kMlRepeats; ++rep) {
       FaultedOracle oracle(9000 + rep);
+      // The top-guess diagnostic needs the raw frequency tables, which are
+      // an engine detail below the Analysis interface.
       AesPfa pfa;
       for (std::size_t i = 0; i < n; ++i)
         pfa.add_ciphertext(oracle.next_ciphertext());
@@ -133,7 +140,8 @@ void ciphertexts_to_unique() {
             best = f[tv];
             best_t = tv;
           }
-        guess[j] = static_cast<std::uint8_t>(best_t ^ oracle.v_new);
+        guess[j] =
+            static_cast<std::uint8_t>(best_t ^ oracle.fault_model.v_new);
       }
       if (Aes128::master_key_from_round10(guess) == oracle.key) ++correct;
     }

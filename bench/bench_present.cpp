@@ -1,15 +1,18 @@
-// EXP-T7 — ExplFrame against PRESENT-80 (the title's "block cipherS").
-//
-// Same pipeline as EXP-T4 with a PRESENT victim. The quantitative contrast
-// with AES:
+// EXP-T7 — ExplFrame against PRESENT-80 (the title's "block cipherS"),
+// through the SAME Campaign code path as the AES run in EXP-T4 — only the
+// CampaignConfig differs. The quantitative contrast with AES:
 //   * the table target window is 16 bytes with only 4 live bits each
 //     (vs 256 x 8 for AES) — templating needs a much longer scan and can
 //     exhaust the buffer;
 //   * once the fault lands, PFA needs ~100 ciphertexts (16-value alphabet)
 //     plus a <= 2^16 residual key-schedule search — far below AES's ~2300.
+//
+//   $ ./bench_present [--format=ascii|markdown|csv]
+#include <cstring>
 #include <iostream>
+#include <string>
 
-#include "attack/explframe_present.hpp"
+#include "attack/campaign_runner.hpp"
 #include "common.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -22,62 +25,59 @@ namespace {
 
 constexpr std::uint32_t kTrials = 8;
 
-ExplFramePresentConfig attack_cfg(std::uint64_t seed) {
-  ExplFramePresentConfig cfg;
-  cfg.templating.buffer_bytes = 4 * kMiB;
-  cfg.templating.hammer_iterations = 100'000;
-  Rng rng(seed * 131 + 17);
-  rng.fill_bytes(cfg.victim.key);
-  cfg.ciphertext_budget = 2000;
-  cfg.seed = seed;
+RunnerConfig runner_cfg() {
+  RunnerConfig cfg;
+  cfg.trials = kTrials;
+  cfg.threads = 2;
+  cfg.system = vulnerable_system(/*seed=*/0);
+  cfg.system.dram.weak_cells.cells_per_mib = 512.0;
+  cfg.campaign.cipher = crypto::CipherKind::kPresent80;
+  cfg.campaign.templating.buffer_bytes = 4 * kMiB;
+  cfg.campaign.templating.hammer_iterations = 100'000;
+  cfg.campaign.ciphertext_budget = 2000;
+  cfg.seed = 700;
   return cfg;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  TableFormat format = TableFormat::kAscii;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto parsed =
+        arg.rfind("--format=", 0) == 0
+            ? try_parse_table_format(arg.substr(std::strlen("--format=")))
+            : std::nullopt;
+    if (!parsed) {
+      std::cerr << "unknown option " << arg << "\nusage: " << argv[0]
+                << " [--format=ascii|markdown|csv]\n";
+      return 2;
+    }
+    format = *parsed;
+  }
   print_banner(std::cout, "EXP-T7: end-to-end ExplFrame on PRESENT-80");
   std::cout << "(" << kTrials
             << " machines; denser weak-cell population than EXP-T4 because "
                "the PRESENT table exposes only 16 bytes x 4 live bits)\n\n";
 
-  std::size_t templated = 0, steered = 0, faulted = 0, success = 0;
-  Samples rows, cts, residual;
-  for (std::uint32_t i = 0; i < kTrials; ++i) {
-    kernel::SystemConfig sys_cfg = vulnerable_system(700 + i);
-    sys_cfg.dram.weak_cells.cells_per_mib = 512.0;
-    kernel::System sys(sys_cfg);
-    ExplFramePresentAttack attack(sys, attack_cfg(700 + i));
-    const auto r = attack.run();
-    templated += r.template_found;
-    steered += r.steered;
-    faulted += r.fault_injected;
-    success += r.success;
-    rows.add(static_cast<double>(r.rows_scanned));
-    if (r.success) {
-      cts.add(static_cast<double>(r.ciphertexts_used));
-      residual.add(static_cast<double>(r.residual_search));
-    }
-  }
+  CampaignRunner runner(runner_cfg());
+  const CampaignAggregate agg = runner.run();
 
-  Table t({"phase", "success", "rate"});
-  const auto pct = [&](std::size_t n) {
-    const auto ci = wilson_interval(n, kTrials);
-    return Table::percent(ci.p) + "  [" + Table::percent(ci.lo) + ", " +
-           Table::percent(ci.hi) + "]";
-  };
-  t.row("1 template (usable low-nibble flip)", templated, pct(templated));
-  t.row("3 steer", steered, pct(steered));
-  t.row("4 fault injected", faulted, pct(faulted));
-  t.row("overall success (80-bit key)", success, pct(success));
-  t.print(std::cout);
-  std::cout << "mean rows templated: " << rows.mean()
+  Samples residual;
+  for (const CampaignReport& r : agg.reports)
+    if (r.success) residual.add(static_cast<double>(r.residual_search));
+
+  agg.phase_table().print(std::cout, format);
+  std::cout << "mean rows templated: " << agg.rows_scanned.mean()
             << " (vs ~70 for AES in EXP-T4 — the 16-byte window costs a "
                "longer scan)\n";
-  if (cts.count() > 0) {
-    std::cout << "mean ciphertexts to key: " << cts.mean()
+  if (agg.ciphertexts_used.count() > 0) {
+    std::cout << "mean ciphertexts to key: " << agg.ciphertexts_used.mean()
               << " (vs ~2500 for AES); mean residual search: "
               << residual.mean() << " of 65536 candidates\n";
   }
+  std::cout << "sweep throughput: " << agg.trials_per_second()
+            << " trials/sec over " << agg.wall_seconds << " s\n";
   return 0;
 }

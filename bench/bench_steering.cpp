@@ -38,11 +38,12 @@ bool run_trial(std::uint64_t seed, const SteerSpec& spec) {
   kernel::System sys(quiet_system(seed));
   kernel::Task& attacker = sys.spawn("attacker", 0);
 
+  const crypto::TableCipher& cipher =
+      crypto::cipher_for(crypto::CipherKind::kAes128);
   VictimConfig vc;
-  Rng rng(seed);
-  rng.fill_bytes(vc.key);
+  vc.key = crypto::random_key(cipher, seed);
   vc.data_pages = spec.victim_pages;
-  VictimAesService victim(sys, spec.victim_cpu, vc);
+  VictimCipherService victim(sys, spec.victim_cpu, cipher, vc);
   victim.start();
 
   // Attacker allocates a working buffer and releases `released_frames`.

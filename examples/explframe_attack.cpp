@@ -1,22 +1,25 @@
 // The complete ExplFrame attack, narrated phase by phase.
 //
-//   $ ./examples/explframe_attack [seed]
+//   $ ./example_explframe_attack [seed] [--cipher=aes|present]
 //
-// Template -> plant -> steer -> re-hammer -> harvest -> PFA. The victim is
-// an AES-128 service whose S-box lives in its own pages; the attacker never
-// reads pagemap. Ground-truth lines (marked [truth]) come from the harness,
-// not the attacker's view.
+// Template -> plant -> steer -> re-hammer -> harvest -> PFA, through the
+// unified Campaign API: the same driver runs the AES-128 and PRESENT-80
+// victims; the cipher is a command-line switch. The attacker never reads
+// pagemap. Ground-truth lines (marked [truth]) come from the harness, not
+// the attacker's view.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
-#include "attack/explframe.hpp"
+#include "attack/campaign.hpp"
 #include "support/log.hpp"
 
 using namespace explframe;
 using namespace explframe::attack;
 
 namespace {
-void print_key(const char* label, const crypto::Aes128::Key& key) {
+void print_key(const char* label, const std::vector<std::uint8_t>& key) {
   std::printf("%s", label);
   for (const auto b : key) std::printf("%02x", b);
   std::printf("\n");
@@ -24,36 +27,54 @@ void print_key(const char* label, const crypto::Aes128::Key& key) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+  std::uint64_t seed = 3;
+  crypto::CipherKind cipher = crypto::CipherKind::kAes128;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cipher=present") {
+      cipher = crypto::CipherKind::kPresent80;
+    } else if (arg == "--cipher=aes") {
+      cipher = crypto::CipherKind::kAes128;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "unknown option %s\nusage: %s [seed] "
+                   "[--cipher=aes|present]\n",
+                   arg.c_str(), argv[0]);
+      return 2;
+    } else {
+      seed = std::strtoull(arg.c_str(), nullptr, 10);
+    }
+  }
   set_log_level(LogLevel::kInfo);
 
   kernel::SystemConfig sys_cfg;
   sys_cfg.memory_bytes = 64 * kMiB;
   sys_cfg.num_cpus = 2;
-  sys_cfg.dram.weak_cells.cells_per_mib = 128.0;
+  // PRESENT's 16-byte window needs a denser weak-cell population.
+  sys_cfg.dram.weak_cells.cells_per_mib =
+      cipher == crypto::CipherKind::kPresent80 ? 512.0 : 128.0;
   sys_cfg.dram.weak_cells.threshold_log_mean = 10.4;
   sys_cfg.dram.weak_cells.threshold_max = 60'000;
   sys_cfg.dram.data_pattern_sensitivity = false;
   sys_cfg.seed = seed;
   kernel::System sys(sys_cfg);
 
-  ExplFrameConfig cfg;
+  CampaignConfig cfg;
+  cfg.cipher = cipher;
   cfg.templating.buffer_bytes = 4 * kMiB;
   cfg.templating.hammer_iterations = 100'000;
-  Rng rng(seed * 31 + 7);
-  rng.fill_bytes(cfg.victim.key);
-  cfg.ciphertext_budget = 8000;
+  cfg.ciphertext_budget =
+      cipher == crypto::CipherKind::kPresent80 ? 2000 : 8000;
   cfg.seed = seed;
 
-  std::printf("machine: %s, seed %llu\n",
+  std::printf("machine: %s, seed %llu, cipher %s\n",
               sys.dram().geometry().describe().c_str(),
-              (unsigned long long)seed);
-  print_key("[truth] victim AES-128 key: ", cfg.victim.key);
+              (unsigned long long)seed, crypto::to_string(cipher));
   std::printf("\nrunning ExplFrame...\n\n");
 
-  ExplFrameAttack attack(sys, cfg);
-  const auto r = attack.run();
+  ExplFrameCampaign attack(sys, cfg);
+  const CampaignReport r = attack.run();
+  print_key("[truth] victim key: ", r.victim_key);
 
   std::printf("phase 1  TEMPLATE: %s (%llu rows scanned, %llu flips)\n",
               r.template_found ? "usable flip found" : "FAILED",
@@ -61,8 +82,8 @@ int main(int argc, char** argv) {
               (unsigned long long)r.flips_found);
   if (r.template_found) {
     std::printf("         flip @ page offset 0x%x bit %d -> corrupts "
-                "S[0x%02x] with mask 0x%02x\n",
-                r.chosen.offset, r.chosen.bit, r.sbox_index, r.fault_mask);
+                "table[0x%02x] with mask 0x%02x\n",
+                r.chosen.offset, r.chosen.bit, r.table_index, r.fault_mask);
   }
   std::printf("phase 2  PLANT:    munmap'ed the vulnerable page "
               "([truth] pfn %llu now at pcp head)\n",
@@ -72,16 +93,18 @@ int main(int argc, char** argv) {
               (unsigned long long)r.victim_table_pfn,
               r.steered ? "STEERED onto the planted frame" : "missed");
   std::printf("phase 4  HAMMER:   re-hammered the stored aggressors -> "
-              "S-box %s%s\n",
+              "table %s%s\n",
               r.fault_injected ? "corrupted" : "intact",
               r.fault_as_predicted ? " (exactly the templated bit)" : "");
-  std::printf("phase 5+6 HARVEST+PFA: %s after %u ciphertexts\n",
+  std::printf("phase 5+6 HARVEST+ANALYSE: %s after %u ciphertexts",
               r.key_recovered ? "unique key" : "no unique key",
               r.ciphertexts_used);
+  if (r.residual_search > 0)
+    std::printf(" (+ %u-candidate residual search)", r.residual_search);
+  std::printf("\n");
   if (r.key_recovered) print_key("         recovered key:     ", r.recovered_key);
   std::printf("\nresult: %s (failure stage: %s), %.2f simulated seconds\n",
-              r.success ? "SUCCESS — full AES-128 key recovered"
-                        : "attack failed",
+              r.success ? "SUCCESS — full key recovered" : "attack failed",
               r.failure_stage().c_str(),
               static_cast<double>(r.total_time) / kSecond);
   return r.success ? 0 : 1;

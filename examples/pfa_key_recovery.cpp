@@ -1,22 +1,55 @@
-// Persistent Fault Analysis in isolation (paper ref [12]).
+// Persistent Fault Analysis in isolation (paper ref [12]), through the
+// fault::Analysis interface.
 //
-//   $ ./examples/pfa_key_recovery
+//   $ ./example_pfa_key_recovery
 //
 // Injects one single-bit S-box fault, collects ciphertexts of random
-// unknown plaintexts, and watches the AES-128 key space collapse; then does
-// the same for PRESENT-80 (16-nibble S-box -> ~100 ciphertexts + a 2^16
-// residual search).
+// unknown plaintexts, and watches the key space collapse — the SAME loop
+// runs AES-128 (256-entry table, ~2300 ciphertexts) and PRESENT-80
+// (16-nibble table, ~100 ciphertexts + a 2^16 residual search); only the
+// oracle and the FaultModel differ.
+#include <algorithm>
 #include <cstdio>
+#include <functional>
 
+#include "crypto/aes128.hpp"
 #include "crypto/present80.hpp"
+#include "crypto/table_cipher.hpp"
+#include "fault/analysis.hpp"
 #include "fault/injection.hpp"
-#include "fault/pfa_aes.hpp"
-#include "fault/pfa_present.hpp"
+#include "support/bytes.hpp"
 #include "support/rng.hpp"
 
 using namespace explframe;
 using namespace explframe::crypto;
 using namespace explframe::fault;
+
+namespace {
+
+/// Drive one Analysis engine against a faulty-ciphertext oracle until the
+/// key is unique (or the budget runs out). Returns the recovered key bytes.
+std::optional<std::vector<std::uint8_t>> collapse_keyspace(
+    Analysis& analysis, std::size_t budget, std::size_t step,
+    const std::function<std::vector<std::uint8_t>()>& next_ciphertext) {
+  std::printf("\n%s:\n%12s  %s\n", analysis.name(), "ciphertexts",
+              "log2(remaining key space)");
+  while (analysis.ciphertext_count() < budget) {
+    for (std::size_t i = 0; i < step; ++i)
+      analysis.add_ciphertext(next_ciphertext());
+    std::printf("%12zu  %.1f\n", analysis.ciphertext_count(),
+                analysis.remaining_keyspace_log2());
+    if (auto key = analysis.recover_key()) return key;
+  }
+  return std::nullopt;
+}
+
+void print_key(const char* label, const std::vector<std::uint8_t>& key) {
+  std::printf("%s", label);
+  for (const auto b : key) std::printf("%02x", b);
+  std::printf("\n");
+}
+
+}  // namespace
 
 int main() {
   Rng rng(2020);
@@ -32,31 +65,22 @@ int main() {
               "vanished, 0x%02x doubled)\n",
               describe(fault).c_str(), v, v_new);
 
-  AesPfa pfa;
-  std::printf("\n%12s  %s\n", "ciphertexts", "log2(remaining K10 key space)");
-  std::size_t used = 0;
-  while (used < 8000) {
-    for (int i = 0; i < 250; ++i) {
-      Aes128::Block pt;
-      rng.fill_bytes(pt);
-      pfa.add_ciphertext(Aes128::encrypt_with_sbox(pt, rk, table));
-    }
-    used += 250;
-    const double bits =
-        pfa.remaining_keyspace_log2(PfaStrategy::kMissingValue, v, v_new);
-    std::printf("%12zu  %.1f\n", used, bits);
-    if (bits == 0.0) break;
-  }
-  const auto recovered =
-      pfa.recover_master_key(PfaStrategy::kMissingValue, v, v_new);
-  if (recovered && *recovered == key) {
-    std::printf("\nrecovered master key from %zu ciphertexts: ", used);
-    for (const auto b : *recovered) std::printf("%02x", b);
-    std::printf("  == victim key\n");
-  } else {
-    std::printf("\nkey recovery failed\n");
+  const auto aes_analysis =
+      make_analysis(AnalysisKind::kPfaMissingValue,
+                    cipher_for(CipherKind::kAes128),
+                    FaultModel{fault.index, fault.mask, v, v_new});
+  const auto aes_key = collapse_keyspace(*aes_analysis, 8000, 250, [&] {
+    Aes128::Block pt;
+    rng.fill_bytes(pt);
+    const Aes128::Block ct = Aes128::encrypt_with_sbox(pt, rk, table);
+    return std::vector<std::uint8_t>(ct.begin(), ct.end());
+  });
+  if (!aes_key ||
+      !std::equal(aes_key->begin(), aes_key->end(), key.begin(), key.end())) {
+    std::printf("AES key recovery failed\n");
     return 1;
   }
+  print_key("recovered AES-128 master key: ", *aes_key);
 
   // ---------------- PRESENT-80 ----------------
   Present80::Key pkey;
@@ -65,32 +89,30 @@ int main() {
   auto ptable = Present80::sbox();
   const SboxByteFault pfault{0x5, 0x2};
   const auto [pv, pv_new] = apply_fault(ptable, pfault);
-  (void)pv_new;
   std::printf("\nPRESENT-80: injected persistent fault S[0x5] ^= 0x2\n");
 
-  PresentPfa ppfa;
+  const auto present_oracle = [&](std::uint64_t pt) {
+    const auto ct = u64_to_le_bytes(Present80::encrypt_with_sbox(pt, prk, ptable));
+    return std::vector<std::uint8_t>(ct.begin(), ct.end());
+  };
+  const auto present_analysis =
+      make_analysis(AnalysisKind::kPfaMissingValue,
+                    cipher_for(CipherKind::kPresent80),
+                    FaultModel{pfault.index, pfault.mask, pv, pv_new});
+  // One known plaintext/ciphertext pair for the residual search.
   const std::uint64_t known_pt = rng.next();
-  const std::uint64_t known_ct =
-      Present80::encrypt_with_sbox(known_pt, prk, ptable);
-  std::size_t pused = 0;
-  while (pused < 2000) {
-    for (int i = 0; i < 25; ++i)
-      ppfa.add_ciphertext(
-          Present80::encrypt_with_sbox(rng.next(), prk, ptable));
-    pused += 25;
-    if (ppfa.recover_k32(pv)) break;
+  present_analysis->set_known_pair(u64_to_le_bytes(known_pt),
+                                   present_oracle(known_pt));
+
+  const auto present_key = collapse_keyspace(
+      *present_analysis, 2000, 25, [&] { return present_oracle(rng.next()); });
+  if (!present_key || !std::equal(present_key->begin(), present_key->end(),
+                                  pkey.begin(), pkey.end())) {
+    std::printf("PRESENT key recovery failed\n");
+    return 1;
   }
-  std::printf("last round key K32 pinned after %zu ciphertexts\n", pused);
-  const auto presult =
-      ppfa.recover_master_key(pv, known_pt, known_ct, ptable);
-  if (presult && presult->key == pkey) {
-    std::printf("master key recovered after a %u-candidate residual search "
-                "(<= 2^16): ",
-                presult->search_tried);
-    for (const auto b : presult->key) std::printf("%02x", b);
-    std::printf("\n");
-    return 0;
-  }
-  std::printf("PRESENT key recovery failed\n");
-  return 1;
+  std::printf("residual search tried %u of 65536 candidates\n",
+              present_analysis->residual_search());
+  print_key("recovered PRESENT-80 master key: ", *present_key);
+  return 0;
 }

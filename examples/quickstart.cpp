@@ -1,72 +1,43 @@
-// Quickstart: the page-frame-cache property the whole attack rests on,
-// in ~40 lines of the public API.
+// Quickstart: one end-to-end ExplFrame attack through the Campaign API —
+// pick a simulated machine, pick a cipher, run.
 //
-//   $ ./examples/quickstart
+//   $ ./example_quickstart
 //
-// A process releases one page frame; the very next small allocation on the
-// same CPU receives the same frame (LIFO per-CPU page frame cache). On a
-// different CPU it does not.
+// Everything the old hand-wired version spelled out (spawn attacker, build
+// victim, template, plant, steer, hammer, harvest, analyse) is now driven
+// by one CampaignConfig; swapping AES-128 for PRESENT-80 is one enum.
 #include <cstdio>
 
-#include "kernel/system.hpp"
+#include "attack/campaign.hpp"
 
 using namespace explframe;
 
 int main() {
-  kernel::SystemConfig config;
-  config.memory_bytes = 64 * kMiB;
-  config.num_cpus = 2;
-  config.dram.weak_cells.cells_per_mib = 0.0;  // healthy DRAM for this demo
-  kernel::System sys(config);
+  kernel::SystemConfig machine;  // a small, Rowhammer-vulnerable DDR3 box
+  machine.memory_bytes = 64 * kMiB;
+  machine.dram.weak_cells.cells_per_mib = 128.0;
+  machine.dram.weak_cells.threshold_log_mean = 10.4;
+  machine.dram.weak_cells.threshold_max = 60'000;
+  machine.dram.data_pattern_sensitivity = false;
+  machine.seed = 3;
+  kernel::System sys(machine);
 
-  kernel::Task& releaser = sys.spawn("releaser", /*cpu=*/0);
-  kernel::Task& same_cpu = sys.spawn("same-cpu", /*cpu=*/0);
-  kernel::Task& other_cpu = sys.spawn("other-cpu", /*cpu=*/1);
+  attack::CampaignConfig cfg;
+  cfg.cipher = crypto::CipherKind::kAes128;  // or kPresent80 — same pipeline
+  cfg.templating.buffer_bytes = 4 * kMiB;
+  cfg.templating.hammer_iterations = 100'000;
+  cfg.ciphertext_budget = 8000;
+  cfg.seed = 3;  // victim key, templating and plaintexts derive from this
 
-  // Warm every process (fault in one page) so page-table allocations do not
-  // interleave with the demonstration below.
-  for (kernel::Task* t : {&releaser, &same_cpu, &other_cpu}) {
-    const vm::VirtAddr w = sys.sys_mmap(*t, kPageSize);
-    const std::uint8_t b = 1;
-    sys.mem_write(*t, w, {&b, 1});
+  const attack::CampaignReport r = attack::ExplFrameCampaign(sys, cfg).run();
+
+  std::printf("cipher: %s\n", crypto::to_string(r.cipher));
+  std::printf("failure stage: %s\n", r.failure_stage().c_str());
+  if (r.success) {
+    std::printf("recovered the victim key from %u faulty ciphertexts: ",
+                r.ciphertexts_used);
+    for (const auto b : r.recovered_key) std::printf("%02x", b);
+    std::printf("\n");
   }
-
-  // mmap alone allocates nothing: frames appear on first touch.
-  const vm::VirtAddr va = sys.sys_mmap(releaser, 4 * kPageSize);
-  std::printf("after mmap:  mapped pages = %llu (demand paging)\n",
-              (unsigned long long)releaser.space().page_table().mapped_pages());
-  for (int p = 0; p < 4; ++p) {
-    const std::uint8_t b = 0xAB;
-    sys.mem_write(releaser, va + p * kPageSize, {&b, 1});
-  }
-  std::printf("after touch: mapped pages = %llu\n",
-              (unsigned long long)releaser.space().page_table().mapped_pages());
-
-  const mm::Pfn released = sys.translate(releaser, va + kPageSize);
-  sys.sys_munmap(releaser, va + kPageSize, kPageSize);
-  std::printf("released frame pfn %llu into cpu 0's page frame cache\n",
-              (unsigned long long)released);
-
-  // Same CPU: the released frame comes right back.
-  const vm::VirtAddr vs = sys.sys_mmap(same_cpu, kPageSize);
-  const std::uint8_t b = 2;
-  sys.mem_write(same_cpu, vs, {&b, 1});
-  std::printf("same-cpu allocation got pfn %llu  -> %s\n",
-              (unsigned long long)sys.translate(same_cpu, vs),
-              sys.translate(same_cpu, vs) == released ? "SAME FRAME"
-                                                      : "different frame");
-
-  // Different CPU: separate cache, different frame.
-  const vm::VirtAddr vo = sys.sys_mmap(other_cpu, kPageSize);
-  sys.mem_write(other_cpu, vo, {&b, 1});
-  std::printf("other-cpu allocation got pfn %llu -> %s\n",
-              (unsigned long long)sys.translate(other_cpu, vo),
-              sys.translate(other_cpu, vo) == released ? "SAME FRAME"
-                                                       : "different frame");
-
-  // The unprivileged view: pagemap hides PFNs (Linux >= 4.0).
-  const auto entry = sys.sys_pagemap(same_cpu, vs, /*cap_sys_admin=*/false);
-  std::printf("unprivileged pagemap read: present=%d pfn=%llu (hidden)\n",
-              entry.present, (unsigned long long)entry.pfn);
-  return 0;
+  return r.success ? 0 : 1;
 }

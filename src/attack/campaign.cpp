@@ -1,0 +1,183 @@
+#include "attack/campaign.hpp"
+
+#include "kernel/noise.hpp"
+#include "support/check.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace explframe::attack {
+
+std::string CampaignReport::failure_stage() const {
+  if (success) return "none";
+  if (!template_found) return "templating";
+  if (!steered) return "steering";
+  if (!fault_injected) return "fault-injection";
+  if (!key_recovered) return "key-recovery";
+  return "key-mismatch";
+}
+
+ExplFrameCampaign::ExplFrameCampaign(kernel::System& system,
+                                     const CampaignConfig& config)
+    : system_(&system), config_(config) {
+  EXPLFRAME_CHECK_MSG(config.analysis != fault::AnalysisKind::kDfa,
+                      "the campaign injects persistent faults; DFA needs "
+                      "transient (correct, faulty) pairs");
+  // Fail fast on combinations make_analysis would reject mid-run.
+  EXPLFRAME_CHECK_MSG(
+      config.analysis != fault::AnalysisKind::kPfaMaxLikelihood ||
+          config.cipher == crypto::CipherKind::kAes128,
+      "max-likelihood PFA is AES-only");
+}
+
+CampaignReport ExplFrameCampaign::run() {
+  const crypto::TableCipher& cipher = crypto::cipher_for(config_.cipher);
+  CampaignReport report;
+  report.cipher = config_.cipher;
+  const SimTime start = system_->now();
+
+  // Independent per-component sub-seeds: trials that differ only in the
+  // master seed share no RNG stream, and no component's draw count can
+  // perturb another's (the cross-talk the old per-attack Rng had).
+  SplitMix64 seeds(config_.seed);
+  const std::uint64_t templating_seed = seeds.next();
+  const std::uint64_t victim_key_seed = seeds.next();
+  const std::uint64_t noise_seed = seeds.next();
+  const std::uint64_t plaintext_seed = seeds.next();
+
+  config_.templating.seed = templating_seed;
+  if (config_.victim.key.empty())
+    config_.victim.key = crypto::random_key(cipher, victim_key_seed);
+  report.victim_key = config_.victim.key;
+
+  // ---------------------------------------------------------------- setup
+  kernel::Task& attacker = system_->spawn("attacker", config_.cpu);
+
+  // The victim service is already running (it is a long-lived daemon); it
+  // has not yet allocated the crypto context.
+  VictimCipherService victim(*system_, config_.cpu, cipher, config_.victim);
+  victim.start();
+
+  // ------------------------------------------------------------ 1 TEMPLATE
+  Templater templater(*system_, attacker, config_.templating);
+  templater.allocate_buffer();
+
+  const std::uint32_t table_off = config_.victim.sbox_offset;
+  const std::size_t table_size = cipher.table_size();
+  const auto usable = [&](const FlipRecord& f) {
+    if (f.offset < table_off || f.offset >= table_off + table_size)
+      return false;
+    return cipher.usable_flip(f.offset - table_off, f.bit, f.to_one);
+  };
+
+  const TemplateReport tmpl = templater.scan_until(usable);
+  report.rows_scanned = tmpl.rows_scanned;
+  report.flips_found = tmpl.flips.size();
+  for (const FlipRecord& f : tmpl.flips) {
+    if (usable(f)) {
+      report.template_found = true;
+      report.chosen = f;
+      break;
+    }
+  }
+  if (!report.template_found) {
+    report.total_time = system_->now() - start;
+    return report;
+  }
+  report.table_index =
+      static_cast<std::uint16_t>(report.chosen.offset - table_off);
+  const fault::FaultModel fault_model =
+      fault::fault_model_for(cipher, report.table_index, report.chosen.bit);
+  report.fault_mask = fault_model.mask;
+  EXPLFRAME_LOG_INFO("template: flip at page offset 0x", std::hex,
+                     report.chosen.offset, std::dec, " bit ",
+                     int(report.chosen.bit), " -> ", cipher.name(),
+                     " table index ", report.table_index);
+
+  // -------------------------------------------------------------- 2 PLANT
+  report.planted_pfn = system_->translate(attacker, report.chosen.page_va);
+  EXPLFRAME_CHECK(report.planted_pfn != mm::kInvalidPfn);
+  system_->sys_munmap(attacker, report.chosen.page_va, kPageSize);
+
+  // Optional contention window between plant and victim allocation.
+  if (config_.noise_ops > 0) {
+    kernel::Task& noisy = system_->spawn("noise", config_.noise_cpu);
+    kernel::NoiseWorkload noise(*system_, noisy, {}, noise_seed);
+    if (config_.attacker_sleeps)
+      attacker.set_state(kernel::TaskState::kSleeping);
+    noise.run(config_.noise_ops);
+    if (config_.attacker_sleeps)
+      attacker.set_state(kernel::TaskState::kRunnable);
+  }
+
+  // -------------------------------------------------------------- 3 STEER
+  victim.install_tables();
+  report.victim_table_pfn =
+      system_->translate(victim.task(), victim.table_page_va());
+  report.steered = report.victim_table_pfn == report.planted_pfn;
+
+  // ------------------------------------------------------------- 4 HAMMER
+  templater.hammer_aggressors(report.chosen);
+  report.fault_injected = victim.table_corrupted();
+  if (report.fault_injected) {
+    const auto table = victim.read_table();
+    const auto canonical = cipher.canonical_table();
+    std::uint32_t live_diffs = 0;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      const std::uint8_t live = cipher.live_bits(i);
+      if ((table[i] & live) != (canonical[i] & live)) ++live_diffs;
+    }
+    report.fault_as_predicted =
+        live_diffs == 1 &&
+        (table[report.table_index] &
+         cipher.live_bits(report.table_index)) == fault_model.v_new;
+  }
+  if (!report.steered || !report.fault_injected) {
+    report.total_time = system_->now() - start;
+    return report;
+  }
+
+  // ---------------------------------------------- 5 + 6 HARVEST + ANALYSE
+  // The engine knows v and v' from the template alone (index + bit) —
+  // ExplFrame never observes the victim's memory.
+  auto analysis = fault::make_analysis(config_.analysis, cipher, fault_model);
+  Rng rng(plaintext_seed);
+  const std::size_t block = cipher.block_size();
+  std::vector<std::uint8_t> pt(block);
+  std::vector<std::uint8_t> ct(block);
+
+  if (analysis->wants_known_pair()) {
+    // One known plaintext/ciphertext pair (the PFA model's usual
+    // known-plaintext variant) for PRESENT's residual key-schedule search.
+    rng.fill_bytes(pt);
+    victim.encrypt(pt, ct);
+    analysis->set_known_pair(pt, ct);
+  }
+
+  std::uint32_t check_interval = config_.analysis_check_interval;
+  if (check_interval == 0) check_interval = table_size >= 256 ? 256 : 25;
+
+  for (std::uint32_t i = 0; i < config_.ciphertext_budget; ++i) {
+    rng.fill_bytes(pt);
+    victim.encrypt(pt, ct);
+    analysis->add_ciphertext(ct);
+    // Periodically test whether the key is already pinned down.
+    if ((i + 1) % check_interval == 0 || i + 1 == config_.ciphertext_budget) {
+      if (auto key = analysis->recover_key()) {
+        report.key_recovered = true;
+        report.recovered_key = std::move(*key);
+        report.residual_search = analysis->residual_search();
+        report.ciphertexts_used = i + 1;
+        break;
+      }
+    }
+  }
+  if (!report.key_recovered)
+    report.ciphertexts_used = config_.ciphertext_budget;
+
+  report.success =
+      report.key_recovered && report.recovered_key == report.victim_key;
+  report.total_time = system_->now() - start;
+  return report;
+}
+
+}  // namespace explframe::attack

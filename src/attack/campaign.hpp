@@ -1,43 +1,51 @@
-// The end-to-end ExplFrame attack (§V + §VI of the paper):
+// The end-to-end ExplFrame campaign (§V + §VI of the paper), cipher- and
+// analysis-agnostic:
 //
 //   1. TEMPLATE  — hammer the attacker's own buffer until a page with a
 //                  usable flip is found (usable = the flip's page offset
-//                  falls inside the victim's S-box window and its polarity
-//                  matches the canonical S-box bit at that position).
+//                  falls inside the victim's table window, the bit is live
+//                  for the cipher, and its polarity matches the canonical
+//                  table bit at that position).
 //   2. PLANT     — munmap that single page; its frame lands at the hot head
 //                  of the current CPU's page frame cache. Stay active.
 //   3. STEER     — the victim (same CPU) installs its crypto context; its
 //                  first-touched page receives the planted frame.
 //   4. HAMMER    — re-hammer the SAME aggressor virtual addresses (still
 //                  mapped); the same weak cell flips again, now corrupting
-//                  the victim's S-box.
+//                  the victim's table.
 //   5. HARVEST   — collect ciphertexts of the victim encrypting unknown
 //                  plaintexts.
-//   6. ANALYSE   — Persistent Fault Analysis recovers K10, then the master
-//                  key via the inverse key schedule.
+//   6. ANALYSE   — the fault::Analysis engine (PFA) recovers the master key.
 //
+// One ExplFrameCampaign drives every (cipher, analysis) combination; what
+// used to be two near-duplicate attack classes is now a CampaignConfig.
 // The attacker never reads /proc/<pid>/pagemap; PFNs appear only in the
 // report's ground-truth section, filled in by the harness.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <string>
+#include <vector>
 
 #include "attack/templating.hpp"
 #include "attack/victim.hpp"
-#include "fault/pfa_aes.hpp"
-#include "kernel/noise.hpp"
+#include "crypto/table_cipher.hpp"
+#include "fault/analysis.hpp"
+#include "kernel/system.hpp"
 
 namespace explframe::attack {
 
-struct ExplFrameConfig {
+struct CampaignConfig {
+  crypto::CipherKind cipher = crypto::CipherKind::kAes128;
+  fault::AnalysisKind analysis = fault::AnalysisKind::kPfaMissingValue;
   TemplateConfig templating;
   VictimConfig victim;
   std::uint32_t cpu = 0;  ///< CPU shared by attacker and victim.
-  /// Ciphertexts harvested before running PFA.
+  /// Ciphertexts harvested before giving up on key recovery.
   std::uint32_t ciphertext_budget = 6000;
-  fault::PfaStrategy strategy = fault::PfaStrategy::kMissingValue;
+  /// Harvested ciphertexts between key-recovery attempts (0 = a cadence
+  /// matched to the cipher's table alphabet: 256 for AES, 25 for PRESENT).
+  std::uint32_t analysis_check_interval = 0;
   /// Background noise operations between plant and victim allocation
   /// (models other activity racing for the planted frame). CPU of the
   /// noise task and whether it shares the attack CPU are configurable.
@@ -47,17 +55,25 @@ struct ExplFrameConfig {
   /// between plant and victim allocation — the failure mode the paper
   /// warns about. If false the attacker stays active (paper's attack).
   bool attacker_sleeps = false;
+  /// Master seed. The campaign derives independent sub-seeds from it for
+  /// templating, the victim key (when victim.key is empty), the noise
+  /// workload and the harvested plaintexts, so parallel trials seeded with
+  /// distinct values share no RNG stream. TemplateConfig::seed is
+  /// overridden by the derived value.
   std::uint64_t seed = 42;
 };
 
-/// Every phase outcome, for the experiment tables.
-struct ExplFrameReport {
+/// Every phase outcome, for the experiment tables — one struct for all
+/// ciphers (keys are raw bytes sized by the cipher).
+struct CampaignReport {
+  crypto::CipherKind cipher = crypto::CipherKind::kAes128;
+
   // Phase 1: templating.
   bool template_found = false;
   std::uint64_t rows_scanned = 0;
   std::uint64_t flips_found = 0;
-  FlipRecord chosen;             ///< The flip used for the attack.
-  std::uint16_t sbox_index = 0;  ///< Table entry the flip corrupts.
+  FlipRecord chosen;              ///< The flip used for the attack.
+  std::uint16_t table_index = 0;  ///< Table entry the flip corrupts.
   std::uint8_t fault_mask = 0;
 
   // Phase 3: steering (ground truth).
@@ -66,30 +82,37 @@ struct ExplFrameReport {
   mm::Pfn victim_table_pfn = mm::kInvalidPfn;
 
   // Phase 4: fault injection (ground truth).
-  bool fault_injected = false;   ///< Victim table corrupted after re-hammer.
+  bool fault_injected = false;  ///< Victim table corrupted after re-hammer.
   bool fault_as_predicted = false;  ///< Exactly the templated bit flipped.
 
   // Phase 5/6: analysis.
   std::uint32_t ciphertexts_used = 0;
+  std::uint32_t residual_search = 0;  ///< Brute-force candidates (PRESENT).
   bool key_recovered = false;
-  crypto::Aes128::Key recovered_key{};
+  std::vector<std::uint8_t> recovered_key;
+
+  // Ground truth: the key the victim actually used (config key, or the
+  // seed-derived key when the config left it empty).
+  std::vector<std::uint8_t> victim_key;
 
   bool success = false;  ///< key_recovered && matches victim key.
   SimTime total_time = 0;
 
+  /// First pipeline phase that failed ("none" on success).
   std::string failure_stage() const;
 };
 
-class ExplFrameAttack {
+class ExplFrameCampaign {
  public:
-  ExplFrameAttack(kernel::System& system, const ExplFrameConfig& config)
-      : system_(&system), config_(config) {}
+  ExplFrameCampaign(kernel::System& system, const CampaignConfig& config);
 
-  ExplFrameReport run();
+  CampaignReport run();
+
+  const CampaignConfig& config() const noexcept { return config_; }
 
  private:
   kernel::System* system_;
-  ExplFrameConfig config_;
+  CampaignConfig config_;
 };
 
 }  // namespace explframe::attack

@@ -11,7 +11,10 @@ SprayReport SprayBaseline::run() {
   Rng rng(config_.seed);
 
   kernel::Task& attacker = system_->spawn("spray-attacker", config_.cpu);
-  VictimAesService victim(*system_, config_.cpu, config_.victim);
+  const crypto::TableCipher& cipher = crypto::cipher_for(config_.cipher);
+  if (config_.victim.key.empty())
+    config_.victim.key = crypto::random_key(cipher, rng.next());
+  VictimCipherService victim(*system_, config_.cpu, cipher, config_.victim);
   victim.start();
 
   // Victim installs its context first — the attacker has no influence on

@@ -20,6 +20,7 @@ struct SprayConfig {
   std::uint64_t hammer_iterations = 500'000;
   /// Aggressor row pairs hammered per trial.
   std::uint32_t pairs = 32;
+  crypto::CipherKind cipher = crypto::CipherKind::kAes128;
   VictimConfig victim;
   std::uint32_t cpu = 0;
   std::uint64_t seed = 7;

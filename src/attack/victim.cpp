@@ -4,16 +4,24 @@
 
 namespace explframe::attack {
 
-using crypto::Aes128;
-
-VictimAesService::VictimAesService(kernel::System& system, std::uint32_t cpu,
-                                   const VictimConfig& config)
-    : system_(&system), cpu_(cpu), config_(config) {
-  EXPLFRAME_CHECK(config.sbox_offset + 256 <= kPageSize);
+VictimCipherService::VictimCipherService(kernel::System& system,
+                                         std::uint32_t cpu,
+                                         const crypto::TableCipher& cipher,
+                                         const VictimConfig& config)
+    : system_(&system),
+      cpu_(cpu),
+      cipher_(&cipher),
+      config_(config),
+      table_scratch_(cipher.table_size()),
+      rk_scratch_(cipher.round_key_size()) {
+  EXPLFRAME_CHECK(config.sbox_offset + cipher.table_size() <= kPageSize);
+  EXPLFRAME_CHECK(cipher.round_key_size() <= kPageSize);
   EXPLFRAME_CHECK(config.data_pages >= 2);
+  EXPLFRAME_CHECK_MSG(config.key.size() == cipher.key_size(),
+                      "victim key size must match the cipher");
 }
 
-void VictimAesService::start() {
+void VictimCipherService::start() {
   task_ = &system_->spawn("victim", cpu_);
   if (config_.warm_up) {
     const vm::VirtAddr warm = system_->sys_mmap(*task_, kPageSize);
@@ -22,24 +30,22 @@ void VictimAesService::start() {
   }
 }
 
-void VictimAesService::install_tables() {
+void VictimCipherService::install_tables() {
   EXPLFRAME_CHECK_MSG(task_ != nullptr, "start() first");
   region_va_ = system_->sys_mmap(
       *task_, static_cast<std::uint64_t>(config_.data_pages) * kPageSize);
-  // Page 0: crypto context header + S-box (touched first, so it receives
-  // the head of the CPU's page frame cache). Page 1: expanded round keys.
+  // Page 0: crypto context header + S-box table (touched first, so it
+  // receives the head of the CPU's page frame cache). Page 1: round keys.
   table_va_ = region_va_;
   keys_va_ = region_va_ + kPageSize;
 
-  const auto& sbox = Aes128::sbox();
+  const auto table = cipher_->canonical_table();
   EXPLFRAME_CHECK(system_->mem_write(*task_, table_va_ + config_.sbox_offset,
-                                     {sbox.data(), sbox.size()}));
-  const auto rk = Aes128::expand_key(config_.key);
-  std::array<std::uint8_t, 11 * 16> rk_bytes{};
-  for (std::size_t r = 0; r < 11; ++r)
-    for (std::size_t i = 0; i < 16; ++i) rk_bytes[16 * r + i] = rk[r][i];
+                                     {table.data(), table.size()}));
+  std::vector<std::uint8_t> rk(cipher_->round_key_size());
+  cipher_->expand_key(config_.key, rk);
   EXPLFRAME_CHECK(
-      system_->mem_write(*task_, keys_va_, {rk_bytes.data(), rk_bytes.size()}));
+      system_->mem_write(*task_, keys_va_, {rk.data(), rk.size()}));
   // Touch the remaining context pages (buffers, bignum scratch, ...).
   for (std::uint32_t p = 2; p < config_.data_pages; ++p) {
     const std::uint8_t zero = 0;
@@ -47,30 +53,42 @@ void VictimAesService::install_tables() {
   }
 }
 
-std::array<std::uint8_t, 256> VictimAesService::read_table() {
-  std::array<std::uint8_t, 256> table{};
+std::vector<std::uint8_t> VictimCipherService::read_table() {
+  std::vector<std::uint8_t> table(cipher_->table_size());
   EXPLFRAME_CHECK(system_->mem_read(*task_, table_va_ + config_.sbox_offset,
                                     {table.data(), table.size()}));
   return table;
 }
 
-bool VictimAesService::table_corrupted() {
-  return read_table() != Aes128::sbox();
+bool VictimCipherService::table_corrupted() {
+  const auto table = read_table();
+  const auto canonical = cipher_->canonical_table();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const std::uint8_t live = cipher_->live_bits(i);
+    if ((table[i] & live) != (canonical[i] & live)) return true;
+  }
+  return false;
 }
 
-crypto::Aes128::Block VictimAesService::encrypt(
-    const crypto::Aes128::Block& plaintext) {
+void VictimCipherService::encrypt(std::span<const std::uint8_t> plaintext,
+                                  std::span<std::uint8_t> ciphertext) {
   EXPLFRAME_CHECK_MSG(table_va_ != 0, "install_tables() first");
-  const auto table = read_table();
-  std::array<std::uint8_t, 11 * 16> rk_bytes{};
-  EXPLFRAME_CHECK(
-      system_->mem_read(*task_, keys_va_, {rk_bytes.data(), rk_bytes.size()}));
-  Aes128::RoundKeys rk{};
-  for (std::size_t r = 0; r < 11; ++r)
-    for (std::size_t i = 0; i < 16; ++i) rk[r][i] = rk_bytes[16 * r + i];
+  EXPLFRAME_CHECK(plaintext.size() == cipher_->block_size());
+  EXPLFRAME_CHECK(ciphertext.size() == cipher_->block_size());
+  EXPLFRAME_CHECK(system_->mem_read(
+      *task_, table_va_ + config_.sbox_offset,
+      {table_scratch_.data(), table_scratch_.size()}));
+  EXPLFRAME_CHECK(system_->mem_read(
+      *task_, keys_va_, {rk_scratch_.data(), rk_scratch_.size()}));
+  cipher_->encrypt(plaintext, rk_scratch_, table_scratch_, ciphertext);
   ++encryptions_;
-  return Aes128::encrypt_with_sbox(plaintext, rk,
-                                   std::span<const std::uint8_t, 256>(table));
+}
+
+std::vector<std::uint8_t> VictimCipherService::encrypt(
+    std::span<const std::uint8_t> plaintext) {
+  std::vector<std::uint8_t> ct(cipher_->block_size());
+  encrypt(plaintext, ct);
+  return ct;
 }
 
 }  // namespace explframe::attack

@@ -1,26 +1,32 @@
-// The victim: a long-running crypto service whose AES S-box and round keys
-// live in its own anonymous pages — the "sensitive data" the paper's
+// The victim: a long-running crypto service whose S-box table and round
+// keys live in its own anonymous pages — the "sensitive data" the paper's
 // attacker steers onto a Rowhammer-vulnerable frame.
 //
-// The service reloads its tables from (simulated) memory on every
-// encryption, as a table-based implementation whose cache lines the
-// attacker keeps evicting would; a persistent flip in the table page is
-// therefore visible in every subsequent ciphertext.
+// The service is cipher-agnostic: everything cipher-specific (table size,
+// live bits, key schedule, block shape) comes through crypto::TableCipher,
+// so the same installation and reload-from-memory data path serves AES-128,
+// PRESENT-80 and any future table cipher. The service reloads its tables
+// from (simulated) memory on every encryption, as a table-based
+// implementation whose cache lines the attacker keeps evicting would; a
+// persistent flip in the table page is therefore visible in every
+// subsequent ciphertext.
 #pragma once
 
-#include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
-#include "crypto/aes128.hpp"
+#include "crypto/table_cipher.hpp"
 #include "kernel/system.hpp"
 
 namespace explframe::attack {
 
 struct VictimConfig {
-  crypto::Aes128::Key key{};
-  /// Byte offset of the S-box within the table page (OpenSSL-style layout:
-  /// table at some fixed, binary-known offset).
+  /// Cipher key bytes; size must equal the cipher's key_size(). The
+  /// campaign driver fills an empty key deterministically from its seed.
+  std::vector<std::uint8_t> key;
+  /// Byte offset of the S-box table within the table page (OpenSSL-style
+  /// layout: table at some fixed, binary-known offset).
   std::uint32_t sbox_offset = 0x400;
   /// Total pages the service touches when installing its state; the table
   /// page is touched FIRST (it is the first field of the context struct).
@@ -30,22 +36,27 @@ struct VictimConfig {
   bool warm_up = true;
 };
 
-class VictimAesService {
+class VictimCipherService {
  public:
-  VictimAesService(kernel::System& system, std::uint32_t cpu,
-                   const VictimConfig& config);
+  VictimCipherService(kernel::System& system, std::uint32_t cpu,
+                      const crypto::TableCipher& cipher,
+                      const VictimConfig& config);
 
   /// Spawn the process and fault in the warm-up region (models the service
   /// having been running before the attack window opens).
   void start();
 
-  /// Allocate the crypto context pages and write the S-box + expanded key
-  /// into them. This is the small allocation the attacker's planted frame
-  /// is meant to satisfy.
+  /// Allocate the crypto context pages and write the S-box table + expanded
+  /// key into them. This is the small allocation the attacker's planted
+  /// frame is meant to satisfy.
   void install_tables();
 
-  /// Encrypt one block, reloading S-box and round keys from memory.
-  crypto::Aes128::Block encrypt(const crypto::Aes128::Block& plaintext);
+  /// Encrypt one block (cipher block_size() bytes), reloading the table and
+  /// round keys from memory. The span overload writes into caller storage
+  /// and does not allocate — the harvest loop's hot path.
+  void encrypt(std::span<const std::uint8_t> plaintext,
+               std::span<std::uint8_t> ciphertext);
+  std::vector<std::uint8_t> encrypt(std::span<const std::uint8_t> plaintext);
 
   std::uint64_t encryptions() const noexcept { return encryptions_; }
 
@@ -53,20 +64,26 @@ class VictimAesService {
   kernel::Task& task() noexcept { return *task_; }
   vm::VirtAddr table_page_va() const noexcept { return table_va_; }
   const VictimConfig& config() const noexcept { return config_; }
-  /// Current table content as stored in memory (may contain the fault).
-  std::array<std::uint8_t, 256> read_table();
-  /// True if the in-memory table differs from the canonical S-box.
+  const crypto::TableCipher& cipher() const noexcept { return *cipher_; }
+  /// Current stored table bytes (may contain the fault; dead bits raw).
+  std::vector<std::uint8_t> read_table();
+  /// True if any live bit of the stored table differs from the canonical
+  /// table (dead-bit corruption is invisible to the implementation).
   bool table_corrupted();
 
  private:
   kernel::System* system_;
   std::uint32_t cpu_;
+  const crypto::TableCipher* cipher_;
   VictimConfig config_;
   kernel::Task* task_ = nullptr;
   vm::VirtAddr region_va_ = 0;
-  vm::VirtAddr table_va_ = 0;  ///< Page holding the S-box.
+  vm::VirtAddr table_va_ = 0;  ///< Page holding the S-box table.
   vm::VirtAddr keys_va_ = 0;   ///< Page holding the round keys.
   std::uint64_t encryptions_ = 0;
+  // Reload scratch (sized once per cipher) so encrypt() does not allocate.
+  std::vector<std::uint8_t> table_scratch_;
+  std::vector<std::uint8_t> rk_scratch_;
 };
 
 }  // namespace explframe::attack

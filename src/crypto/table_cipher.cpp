@@ -1,0 +1,154 @@
+#include "crypto/table_cipher.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "crypto/aes128.hpp"
+#include "crypto/present80.hpp"
+#include "support/bytes.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace explframe::crypto {
+
+const char* to_string(CipherKind kind) noexcept {
+  switch (kind) {
+    case CipherKind::kAes128:
+      return "aes128";
+    case CipherKind::kPresent80:
+      return "present80";
+  }
+  return "?";
+}
+
+std::uint8_t TableCipher::live_bits(std::size_t /*index*/) const noexcept {
+  return 0xFF;
+}
+
+bool TableCipher::usable_flip(std::size_t index, std::uint8_t bit,
+                              bool to_one) const noexcept {
+  if (index >= table_size() || bit >= 8) return false;
+  if (((live_bits(index) >> bit) & 1u) == 0) return false;
+  const bool bit_set = ((canonical_table()[index] >> bit) & 1u) != 0;
+  // An anti cell (flips 0 -> 1) needs the canonical bit clear; a true cell
+  // (1 -> 0) needs it set.
+  return to_one ? !bit_set : bit_set;
+}
+
+namespace {
+
+class Aes128TableCipher final : public TableCipher {
+ public:
+  CipherKind kind() const noexcept override { return CipherKind::kAes128; }
+  const char* name() const noexcept override { return "AES-128"; }
+
+  std::size_t table_size() const noexcept override { return 256; }
+  std::span<const std::uint8_t> canonical_table() const noexcept override {
+    return Aes128::sbox();
+  }
+
+  std::size_t key_size() const noexcept override { return 16; }
+  std::size_t block_size() const noexcept override { return 16; }
+  std::size_t round_key_size() const noexcept override { return 11 * 16; }
+
+  void expand_key(std::span<const std::uint8_t> key,
+                  std::span<std::uint8_t> round_keys) const override {
+    EXPLFRAME_CHECK(key.size() == key_size());
+    EXPLFRAME_CHECK(round_keys.size() == round_key_size());
+    Aes128::Key k;
+    std::copy(key.begin(), key.end(), k.begin());
+    const auto rk = Aes128::expand_key(k);
+    for (std::size_t r = 0; r < 11; ++r)
+      for (std::size_t i = 0; i < 16; ++i) round_keys[16 * r + i] = rk[r][i];
+  }
+
+  void encrypt(std::span<const std::uint8_t> plaintext,
+               std::span<const std::uint8_t> round_keys,
+               std::span<const std::uint8_t> table,
+               std::span<std::uint8_t> ciphertext) const override {
+    EXPLFRAME_CHECK(plaintext.size() == 16 && ciphertext.size() == 16);
+    EXPLFRAME_CHECK(round_keys.size() == round_key_size());
+    EXPLFRAME_CHECK(table.size() == 256);
+    Aes128::Block pt;
+    std::copy(plaintext.begin(), plaintext.end(), pt.begin());
+    Aes128::RoundKeys rk{};
+    for (std::size_t r = 0; r < 11; ++r)
+      for (std::size_t i = 0; i < 16; ++i) rk[r][i] = round_keys[16 * r + i];
+    const Aes128::Block ct = Aes128::encrypt_with_sbox(
+        pt, rk, std::span<const std::uint8_t, 256>(table.data(), 256));
+    std::copy(ct.begin(), ct.end(), ciphertext.begin());
+  }
+};
+
+class Present80TableCipher final : public TableCipher {
+ public:
+  CipherKind kind() const noexcept override { return CipherKind::kPresent80; }
+  const char* name() const noexcept override { return "PRESENT-80"; }
+
+  std::size_t table_size() const noexcept override { return 16; }
+  std::span<const std::uint8_t> canonical_table() const noexcept override {
+    return Present80::sbox();
+  }
+  std::uint8_t live_bits(std::size_t /*index*/) const noexcept override {
+    return 0x0F;  // one nibble stored per byte; the high nibble is dead
+  }
+
+  std::size_t key_size() const noexcept override { return 10; }
+  std::size_t block_size() const noexcept override { return 8; }
+  std::size_t round_key_size() const noexcept override { return 32 * 8; }
+
+  void expand_key(std::span<const std::uint8_t> key,
+                  std::span<std::uint8_t> round_keys) const override {
+    EXPLFRAME_CHECK(key.size() == key_size());
+    EXPLFRAME_CHECK(round_keys.size() == round_key_size());
+    Present80::Key k;
+    std::copy(key.begin(), key.end(), k.begin());
+    const auto rk = Present80::expand_key(k);
+    for (std::size_t r = 0; r < 32; ++r)
+      u64_to_le_bytes(rk[r], round_keys.subspan(8 * r, 8));
+  }
+
+  void encrypt(std::span<const std::uint8_t> plaintext,
+               std::span<const std::uint8_t> round_keys,
+               std::span<const std::uint8_t> table,
+               std::span<std::uint8_t> ciphertext) const override {
+    EXPLFRAME_CHECK(plaintext.size() == 8 && ciphertext.size() == 8);
+    EXPLFRAME_CHECK(round_keys.size() == round_key_size());
+    EXPLFRAME_CHECK(table.size() == 16);
+    const std::uint64_t pt = le_bytes_to_u64(plaintext);
+    Present80::RoundKeys rk{};
+    for (std::size_t r = 0; r < 32; ++r)
+      rk[r] = le_bytes_to_u64(round_keys.subspan(8 * r, 8));
+    // Only the low nibble of each stored byte is live.
+    std::array<std::uint8_t, 16> nibbles{};
+    for (std::size_t i = 0; i < 16; ++i)
+      nibbles[i] = static_cast<std::uint8_t>(table[i] & 0xF);
+    const std::uint64_t ct = Present80::encrypt_with_sbox(
+        pt, rk, std::span<const std::uint8_t, 16>(nibbles));
+    u64_to_le_bytes(ct, ciphertext);
+  }
+};
+
+}  // namespace
+
+const TableCipher& cipher_for(CipherKind kind) noexcept {
+  static const Aes128TableCipher aes;
+  static const Present80TableCipher present;
+  switch (kind) {
+    case CipherKind::kPresent80:
+      return present;
+    case CipherKind::kAes128:
+      break;
+  }
+  return aes;
+}
+
+std::vector<std::uint8_t> random_key(const TableCipher& cipher,
+                                     std::uint64_t seed) {
+  std::vector<std::uint8_t> key(cipher.key_size());
+  Rng rng(seed);
+  rng.fill_bytes(key);
+  return key;
+}
+
+}  // namespace explframe::crypto

@@ -1,0 +1,32 @@
+// Little-endian (de)serialization of 64-bit words — the byte layout used
+// wherever a PRESENT block or round-key word crosses the byte-span APIs
+// (stored victim pages, TableCipher blocks, Analysis ciphertexts).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace explframe {
+
+inline void u64_to_le_bytes(std::uint64_t v,
+                            std::span<std::uint8_t> out) noexcept {
+  for (std::size_t b = 0; b < 8 && b < out.size(); ++b)
+    out[b] = static_cast<std::uint8_t>(v >> (8 * b));
+}
+
+inline std::array<std::uint8_t, 8> u64_to_le_bytes(std::uint64_t v) noexcept {
+  std::array<std::uint8_t, 8> out;
+  u64_to_le_bytes(v, out);
+  return out;
+}
+
+inline std::uint64_t le_bytes_to_u64(
+    std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t v = 0;
+  for (std::size_t b = 0; b < 8 && b < bytes.size(); ++b)
+    v |= static_cast<std::uint64_t>(bytes[b]) << (8 * b);
+  return v;
+}
+
+}  // namespace explframe

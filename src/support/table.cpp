@@ -55,7 +55,82 @@ std::string Table::percent(double p, int precision) {
   return os.str();
 }
 
-std::string Table::render() const {
+std::optional<TableFormat> try_parse_table_format(const std::string& name) {
+  if (name == "ascii") return TableFormat::kAscii;
+  if (name == "markdown" || name == "md") return TableFormat::kMarkdown;
+  if (name == "csv") return TableFormat::kCsv;
+  return std::nullopt;
+}
+
+TableFormat parse_table_format(const std::string& name, TableFormat fallback) {
+  return try_parse_table_format(name).value_or(fallback);
+}
+
+namespace {
+
+/// CSV quoting per RFC 4180: quote when the cell contains a comma, a quote
+/// or a newline; embedded quotes are doubled.
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Markdown cells cannot contain the column separator.
+std::string md_escape(const std::string& cell) {
+  std::string out;
+  for (const char c : cell) {
+    if (c == '|') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Table::render_markdown() const {
+  std::ostringstream os;
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (const auto& c : cells) os << ' ' << md_escape(c) << " |";
+    os << '\n';
+  };
+  line(headers_);
+  os << '|';
+  for (std::size_t i = 0; i < headers_.size(); ++i) os << " --- |";
+  os << '\n';
+  for (const auto& r : rows_) line(r);
+  return os.str();
+}
+
+std::string Table::render_csv() const {
+  std::ostringstream os;
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << ',';
+      os << csv_escape(cells[i]);
+    }
+    os << '\n';
+  };
+  line(headers_);
+  for (const auto& r : rows_) line(r);
+  return os.str();
+}
+
+std::string Table::render(TableFormat format) const {
+  switch (format) {
+    case TableFormat::kMarkdown:
+      return render_markdown();
+    case TableFormat::kCsv:
+      return render_csv();
+    case TableFormat::kAscii:
+      break;
+  }
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t i = 0; i < headers_.size(); ++i)
     widths[i] = headers_[i].size();
@@ -88,7 +163,9 @@ std::string Table::render() const {
   return os.str();
 }
 
-void Table::print(std::ostream& os) const { os << render(); }
+void Table::print(std::ostream& os, TableFormat format) const {
+  os << render(format);
+}
 
 void print_banner(std::ostream& os, const std::string& title) {
   const std::string bar(title.size() + 8, '=');

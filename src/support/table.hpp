@@ -5,10 +5,27 @@
 #include <cstddef>
 #include <initializer_list>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace explframe {
+
+/// Output formats for Table::render — ASCII for terminals, Markdown for
+/// experiment write-ups, CSV for downstream plotting.
+enum class TableFormat {
+  kAscii,
+  kMarkdown,
+  kCsv,
+};
+
+/// Parse a format name ("ascii" | "markdown" | "md" | "csv"); nullopt on
+/// anything else. Benches accept `--format=<name>` and reject unknown names.
+std::optional<TableFormat> try_parse_table_format(const std::string& name);
+
+/// Lenient variant: falls back to `fallback` on an unknown name.
+TableFormat parse_table_format(const std::string& name,
+                               TableFormat fallback = TableFormat::kAscii);
 
 class Table {
  public:
@@ -24,8 +41,8 @@ class Table {
     add_row({to_cell(cells)...});
   }
 
-  std::string render() const;
-  void print(std::ostream& os) const;
+  std::string render(TableFormat format = TableFormat::kAscii) const;
+  void print(std::ostream& os, TableFormat format = TableFormat::kAscii) const;
 
   std::size_t rows() const noexcept { return rows_.size(); }
 
@@ -45,6 +62,9 @@ class Table {
   static std::string percent(double p, int precision = 1);
 
  private:
+  std::string render_markdown() const;
+  std::string render_csv() const;
+
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };

@@ -1,7 +1,14 @@
-#include "attack/explframe_present.hpp"
-
+// ExplFrame against PRESENT-80 — the same ExplFrameCampaign code path as
+// the AES tests, differing only in CampaignConfig::cipher, plus the
+// PRESENT-specific victim behaviours (nibble table, dead high bits).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "attack/campaign.hpp"
+#include "attack/victim.hpp"
+#include "crypto/present80.hpp"
+#include "support/bytes.hpp"
 #include "support/rng.hpp"
 
 namespace explframe::attack {
@@ -24,31 +31,49 @@ kernel::SystemConfig present_system_cfg(std::uint64_t seed) {
   return c;
 }
 
-ExplFramePresentConfig present_attack_cfg(std::uint64_t seed) {
-  ExplFramePresentConfig cfg;
+CampaignConfig present_attack_cfg(std::uint64_t seed) {
+  CampaignConfig cfg;
+  cfg.cipher = crypto::CipherKind::kPresent80;
   cfg.templating.buffer_bytes = 4 * kMiB;
   cfg.templating.hammer_iterations = 100'000;
-  Rng rng(seed * 131 + 17);
-  rng.fill_bytes(cfg.victim.key);
   cfg.ciphertext_budget = 2000;
   cfg.seed = seed;
   return cfg;
+}
+
+const crypto::TableCipher& present_cipher() {
+  return crypto::cipher_for(crypto::CipherKind::kPresent80);
+}
+
+VictimConfig present_victim_cfg(std::uint64_t key_seed) {
+  VictimConfig vc;
+  vc.key = crypto::random_key(present_cipher(), key_seed);
+  return vc;
+}
+
+Present80::Key to_present_key(const std::vector<std::uint8_t>& bytes) {
+  Present80::Key k{};
+  std::copy(bytes.begin(), bytes.end(), k.begin());
+  return k;
+}
+
+std::uint64_t encrypt_u64(VictimCipherService& victim, std::uint64_t pt) {
+  return le_bytes_to_u64(victim.encrypt(u64_to_le_bytes(pt)));
 }
 
 TEST(VictimPresentService, EncryptsCorrectly) {
   kernel::SystemConfig c = present_system_cfg(1);
   c.dram.weak_cells.cells_per_mib = 0.0;
   kernel::System sys(c);
-  VictimPresentService::Config vc;
-  Rng rng(3);
-  rng.fill_bytes(vc.key);
-  VictimPresentService victim(sys, 0, vc);
+  const VictimConfig vc = present_victim_cfg(3);
+  VictimCipherService victim(sys, 0, present_cipher(), vc);
   victim.start();
   victim.install_tables();
-  const auto rk = Present80::expand_key(vc.key);
+  const auto rk = Present80::expand_key(to_present_key(vc.key));
+  Rng rng(3);
   for (int i = 0; i < 16; ++i) {
     const std::uint64_t pt = rng.next();
-    EXPECT_EQ(victim.encrypt(pt), Present80::encrypt(pt, rk));
+    EXPECT_EQ(encrypt_u64(victim, pt), Present80::encrypt(pt, rk));
   }
   EXPECT_FALSE(victim.table_corrupted());
 }
@@ -57,10 +82,8 @@ TEST(VictimPresentService, LowNibbleCorruptionDetectedAndLive) {
   kernel::SystemConfig c = present_system_cfg(1);
   c.dram.weak_cells.cells_per_mib = 0.0;
   kernel::System sys(c);
-  VictimPresentService::Config vc;
-  Rng rng(4);
-  rng.fill_bytes(vc.key);
-  VictimPresentService victim(sys, 0, vc);
+  const VictimConfig vc = present_victim_cfg(4);
+  VictimCipherService victim(sys, 0, present_cipher(), vc);
   victim.start();
   victim.install_tables();
   const auto phys = sys.phys_of(
@@ -69,9 +92,10 @@ TEST(VictimPresentService, LowNibbleCorruptionDetectedAndLive) {
   EXPECT_TRUE(victim.table_corrupted());
   auto faulty = Present80::sbox();
   faulty[5] ^= 0x2;
-  const auto rk = Present80::expand_key(vc.key);
+  const auto rk = Present80::expand_key(to_present_key(vc.key));
+  Rng rng(4);
   const std::uint64_t pt = rng.next();
-  EXPECT_EQ(victim.encrypt(pt),
+  EXPECT_EQ(encrypt_u64(victim, pt),
             Present80::encrypt_with_sbox(
                 pt, rk, std::span<const std::uint8_t, 16>(faulty)));
 }
@@ -80,10 +104,8 @@ TEST(VictimPresentService, HighNibbleCorruptionIsMaskedOut) {
   kernel::SystemConfig c = present_system_cfg(1);
   c.dram.weak_cells.cells_per_mib = 0.0;
   kernel::System sys(c);
-  VictimPresentService::Config vc;
-  Rng rng(5);
-  rng.fill_bytes(vc.key);
-  VictimPresentService victim(sys, 0, vc);
+  const VictimConfig vc = present_victim_cfg(5);
+  VictimCipherService victim(sys, 0, present_cipher(), vc);
   victim.start();
   victim.install_tables();
   const auto phys = sys.phys_of(
@@ -91,17 +113,22 @@ TEST(VictimPresentService, HighNibbleCorruptionIsMaskedOut) {
   sys.dram().write_byte(phys, sys.dram().read_byte(phys) ^ 0x80);
   // The stored byte changed but the implementation masks the high nibble.
   EXPECT_FALSE(victim.table_corrupted());
-  const auto rk = Present80::expand_key(vc.key);
+  const auto rk = Present80::expand_key(to_present_key(vc.key));
+  Rng rng(5);
   const std::uint64_t pt = rng.next();
-  EXPECT_EQ(victim.encrypt(pt), Present80::encrypt(pt, rk));
+  EXPECT_EQ(encrypt_u64(victim, pt), Present80::encrypt(pt, rk));
 }
 
-TEST(ExplFramePresentAttack, EndToEndKeyRecovery) {
+TEST(ExplFrameCampaignPresent, EndToEndKeyRecovery) {
   bool any_success = false;
   std::size_t attempted = 0;
   for (std::uint64_t seed = 1; seed <= 6 && !any_success; ++seed) {
     kernel::System sys(present_system_cfg(seed));
-    ExplFramePresentAttack attack(sys, present_attack_cfg(seed));
+    // An explicit key makes the success check independent of the
+    // campaign's own victim-key bookkeeping.
+    CampaignConfig cfg = present_attack_cfg(seed);
+    cfg.victim.key = crypto::random_key(present_cipher(), seed * 131 + 17);
+    ExplFrameCampaign attack(sys, cfg);
     const auto report = attack.run();
     if (!report.template_found) continue;  // 16-byte window: misses happen
     ++attempted;
@@ -109,7 +136,8 @@ TEST(ExplFramePresentAttack, EndToEndKeyRecovery) {
     EXPECT_TRUE(report.fault_injected) << "seed " << seed;
     if (report.success) {
       any_success = true;
-      EXPECT_EQ(report.recovered_key, present_attack_cfg(seed).victim.key);
+      EXPECT_EQ(report.recovered_key, cfg.victim.key);
+      EXPECT_EQ(report.recovered_key.size(), 10u);
       EXPECT_LE(report.ciphertexts_used, 2000u);
       EXPECT_LE(report.residual_search, 1u << 16);
       EXPECT_EQ(report.failure_stage(), "none");
@@ -118,19 +146,26 @@ TEST(ExplFramePresentAttack, EndToEndKeyRecovery) {
   EXPECT_TRUE(any_success) << "attempted " << attempted;
 }
 
-TEST(ExplFramePresentReport, FailureStages) {
-  ExplFramePresentReport r;
-  EXPECT_EQ(r.failure_stage(), "templating");
-  r.template_found = true;
-  EXPECT_EQ(r.failure_stage(), "steering");
-  r.steered = true;
-  EXPECT_EQ(r.failure_stage(), "fault-injection");
-  r.fault_injected = true;
-  EXPECT_EQ(r.failure_stage(), "key-recovery");
-  r.key_recovered = true;
-  EXPECT_EQ(r.failure_stage(), "key-mismatch");
-  r.success = true;
-  EXPECT_EQ(r.failure_stage(), "none");
+TEST(ExplFrameCampaignPresent, MaxLikelihoodIsRejected) {
+  // Fail-fast in the constructor, not mid-sweep in make_analysis.
+  kernel::System sys(present_system_cfg(1));
+  CampaignConfig cfg = present_attack_cfg(1);
+  cfg.analysis = fault::AnalysisKind::kPfaMaxLikelihood;
+  EXPECT_DEATH({ ExplFrameCampaign c(sys, cfg); }, "AES-only");
+}
+
+TEST(ExplFrameCampaignPresent, OnlyLiveBitsAreUsableTemplates) {
+  // Any flip the campaign accepts for PRESENT must target a live (low
+  // nibble) bit — dead-bit flips cannot fault the cipher.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    kernel::System sys(present_system_cfg(seed));
+    ExplFrameCampaign attack(sys, present_attack_cfg(seed));
+    const auto report = attack.run();
+    if (!report.template_found) continue;
+    EXPECT_LT(report.chosen.bit, 4) << "seed " << seed;
+    EXPECT_NE(report.fault_mask & 0x0F, 0) << "seed " << seed;
+    EXPECT_EQ(report.fault_mask & 0xF0, 0) << "seed " << seed;
+  }
 }
 
 }  // namespace

@@ -1,7 +1,8 @@
-#include "attack/explframe.hpp"
-
+// The AES-128 end-to-end campaign — what the old ExplFrameAttack tests
+// covered, now through the unified ExplFrameCampaign.
 #include <gtest/gtest.h>
 
+#include "attack/campaign.hpp"
 #include "support/rng.hpp"
 
 namespace explframe::attack {
@@ -20,32 +21,37 @@ kernel::SystemConfig attack_system_cfg(std::uint64_t seed) {
   return c;
 }
 
-ExplFrameConfig attack_cfg(std::uint64_t seed) {
-  ExplFrameConfig cfg;
+CampaignConfig attack_cfg(std::uint64_t seed) {
+  CampaignConfig cfg;
+  cfg.cipher = crypto::CipherKind::kAes128;
   cfg.templating.buffer_bytes = 4 * kMiB;
   cfg.templating.hammer_iterations = 100'000;
   cfg.templating.both_polarities = true;
-  Rng rng(seed * 1000 + 1);
-  rng.fill_bytes(cfg.victim.key);
   cfg.ciphertext_budget = 8000;
   cfg.seed = seed;
   return cfg;
 }
 
-TEST(ExplFrameAttack, EndToEndKeyRecovery) {
+TEST(ExplFrameCampaignAes, EndToEndKeyRecovery) {
   // Deterministic: with this memory seed the template phase finds a usable
   // flip and every later phase must succeed.
   bool any_success = false;
   for (std::uint64_t seed = 1; seed <= 4 && !any_success; ++seed) {
     kernel::System sys(attack_system_cfg(seed));
-    ExplFrameAttack attack(sys, attack_cfg(seed));
+    // An explicit key makes the success check independent of the
+    // campaign's own victim-key bookkeeping.
+    CampaignConfig cfg = attack_cfg(seed);
+    cfg.victim.key = crypto::random_key(
+        crypto::cipher_for(cfg.cipher), seed * 1000 + 1);
+    ExplFrameCampaign attack(sys, cfg);
     const auto report = attack.run();
     if (!report.template_found) continue;  // unlucky weak-cell layout
     EXPECT_TRUE(report.steered) << "seed " << seed;
     EXPECT_TRUE(report.fault_injected) << "seed " << seed;
     if (report.success) {
       any_success = true;
-      EXPECT_EQ(report.recovered_key, attack_cfg(seed).victim.key);
+      EXPECT_EQ(report.recovered_key, cfg.victim.key);
+      EXPECT_EQ(report.recovered_key.size(), 16u);
       EXPECT_GT(report.ciphertexts_used, 0u);
       EXPECT_EQ(report.failure_stage(), "none");
     }
@@ -53,10 +59,10 @@ TEST(ExplFrameAttack, EndToEndKeyRecovery) {
   EXPECT_TRUE(any_success);
 }
 
-TEST(ExplFrameAttack, SteeringIsExactWithoutNoise) {
+TEST(ExplFrameCampaignAes, SteeringIsExactWithoutNoise) {
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     kernel::System sys(attack_system_cfg(seed));
-    ExplFrameAttack attack(sys, attack_cfg(seed));
+    ExplFrameCampaign attack(sys, attack_cfg(seed));
     const auto report = attack.run();
     if (!report.template_found) continue;
     // No contention: the planted frame must reach the victim's table page.
@@ -66,8 +72,8 @@ TEST(ExplFrameAttack, SteeringIsExactWithoutNoise) {
   GTEST_FAIL() << "no seed produced a usable template";
 }
 
-TEST(ExplFrameAttack, ReportFailureStages) {
-  ExplFrameReport r;
+TEST(ExplFrameCampaignAes, ReportFailureStages) {
+  CampaignReport r;
   EXPECT_EQ(r.failure_stage(), "templating");
   r.template_found = true;
   EXPECT_EQ(r.failure_stage(), "steering");
@@ -81,13 +87,29 @@ TEST(ExplFrameAttack, ReportFailureStages) {
   EXPECT_EQ(r.failure_stage(), "none");
 }
 
-TEST(ExplFrameAttack, CrossCpuNoiseDoesNotStealFrame) {
+TEST(ExplFrameCampaignAes, ExplicitVictimKeyIsUsed) {
+  // A key supplied in the config must survive seed derivation untouched.
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     kernel::System sys(attack_system_cfg(seed));
-    ExplFrameConfig cfg = attack_cfg(seed);
+    CampaignConfig cfg = attack_cfg(seed);
+    cfg.victim.key.assign(16, 0xA7);
+    ExplFrameCampaign attack(sys, cfg);
+    const auto report = attack.run();
+    EXPECT_EQ(report.victim_key, cfg.victim.key);
+    if (!report.success) continue;
+    EXPECT_EQ(report.recovered_key, cfg.victim.key);
+    return;
+  }
+  GTEST_FAIL() << "no seed recovered the explicit key";
+}
+
+TEST(ExplFrameCampaignAes, CrossCpuNoiseDoesNotStealFrame) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    kernel::System sys(attack_system_cfg(seed));
+    CampaignConfig cfg = attack_cfg(seed);
     cfg.noise_ops = 50;
     cfg.noise_cpu = 1;  // noise on the other CPU: different pcp cache
-    ExplFrameAttack attack(sys, cfg);
+    ExplFrameCampaign attack(sys, cfg);
     const auto report = attack.run();
     if (!report.template_found) continue;
     EXPECT_TRUE(report.steered) << "seed " << seed;
@@ -96,17 +118,17 @@ TEST(ExplFrameAttack, CrossCpuNoiseDoesNotStealFrame) {
   GTEST_FAIL() << "no seed produced a usable template";
 }
 
-TEST(ExplFrameAttack, SameCpuNoiseCanStealFrame) {
+TEST(ExplFrameCampaignAes, SameCpuNoiseCanStealFrame) {
   // With heavy same-CPU noise between plant and victim allocation the
   // planted frame is usually consumed by the noise process instead.
   std::size_t attempted = 0;
   std::size_t steered = 0;
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     kernel::System sys(attack_system_cfg(seed));
-    ExplFrameConfig cfg = attack_cfg(seed);
+    CampaignConfig cfg = attack_cfg(seed);
     cfg.noise_ops = 200;
     cfg.noise_cpu = 0;  // same CPU as the attack
-    ExplFrameAttack attack(sys, cfg);
+    ExplFrameCampaign attack(sys, cfg);
     const auto report = attack.run();
     if (!report.template_found) continue;
     ++attempted;
@@ -114,6 +136,13 @@ TEST(ExplFrameAttack, SameCpuNoiseCanStealFrame) {
   }
   ASSERT_GT(attempted, 0u);
   EXPECT_LT(steered, attempted);  // noise must spoil at least one run
+}
+
+TEST(ExplFrameCampaignAes, DfaIsRejected) {
+  kernel::System sys(attack_system_cfg(1));
+  CampaignConfig cfg = attack_cfg(1);
+  cfg.analysis = fault::AnalysisKind::kDfa;
+  EXPECT_DEATH({ ExplFrameCampaign c(sys, cfg); }, "persistent");
 }
 
 }  // namespace

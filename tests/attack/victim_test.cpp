@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "crypto/aes128.hpp"
 #include "support/rng.hpp"
 
 namespace explframe::attack {
@@ -17,41 +20,60 @@ kernel::SystemConfig cfg() {
   return c;
 }
 
+const crypto::TableCipher& aes_cipher() {
+  return crypto::cipher_for(crypto::CipherKind::kAes128);
+}
+
 VictimConfig victim_cfg() {
   VictimConfig v;
-  Rng rng(77);
-  rng.fill_bytes(v.key);
+  v.key = crypto::random_key(aes_cipher(), 77);
   return v;
 }
 
-TEST(VictimAesService, EncryptsCorrectlyFromMemoryTables) {
+Aes128::Key to_aes_key(const std::vector<std::uint8_t>& bytes) {
+  Aes128::Key k{};
+  std::copy(bytes.begin(), bytes.end(), k.begin());
+  return k;
+}
+
+Aes128::Block encrypt_block(VictimCipherService& victim,
+                            const Aes128::Block& pt) {
+  const auto ct = victim.encrypt(pt);
+  Aes128::Block out{};
+  std::copy(ct.begin(), ct.end(), out.begin());
+  return out;
+}
+
+TEST(VictimCipherService, EncryptsCorrectlyFromMemoryTables) {
   kernel::System sys(cfg());
-  VictimAesService victim(sys, 0, victim_cfg());
+  VictimCipherService victim(sys, 0, aes_cipher(), victim_cfg());
   victim.start();
   victim.install_tables();
 
   Rng rng(5);
-  const auto rk = Aes128::expand_key(victim.config().key);
+  const auto rk = Aes128::expand_key(to_aes_key(victim.config().key));
   for (int i = 0; i < 20; ++i) {
     Aes128::Block pt;
     rng.fill_bytes(pt);
-    EXPECT_EQ(victim.encrypt(pt), Aes128::encrypt(pt, rk));
+    EXPECT_EQ(encrypt_block(victim, pt), Aes128::encrypt(pt, rk));
   }
   EXPECT_EQ(victim.encryptions(), 20u);
 }
 
-TEST(VictimAesService, TableReadBackMatchesSbox) {
+TEST(VictimCipherService, TableReadBackMatchesSbox) {
   kernel::System sys(cfg());
-  VictimAesService victim(sys, 0, victim_cfg());
+  VictimCipherService victim(sys, 0, aes_cipher(), victim_cfg());
   victim.start();
   victim.install_tables();
-  EXPECT_EQ(victim.read_table(), Aes128::sbox());
+  const auto table = victim.read_table();
+  ASSERT_EQ(table.size(), 256u);
+  EXPECT_TRUE(std::equal(table.begin(), table.end(), Aes128::sbox().begin()));
   EXPECT_FALSE(victim.table_corrupted());
 }
 
-TEST(VictimAesService, CorruptedTableDetectedAndUsed) {
+TEST(VictimCipherService, CorruptedTableDetectedAndUsed) {
   kernel::System sys(cfg());
-  VictimAesService victim(sys, 0, victim_cfg());
+  VictimCipherService victim(sys, 0, aes_cipher(), victim_cfg());
   victim.start();
   victim.install_tables();
 
@@ -64,18 +86,18 @@ TEST(VictimAesService, CorruptedTableDetectedAndUsed) {
   EXPECT_TRUE(victim.table_corrupted());
   auto faulty = Aes128::sbox();
   faulty[0x42] ^= 0x08;
-  const auto rk = Aes128::expand_key(victim.config().key);
+  const auto rk = Aes128::expand_key(to_aes_key(victim.config().key));
   Rng rng(6);
   Aes128::Block pt;
   rng.fill_bytes(pt);
-  EXPECT_EQ(victim.encrypt(pt),
+  EXPECT_EQ(encrypt_block(victim, pt),
             Aes128::encrypt_with_sbox(
                 pt, rk, std::span<const std::uint8_t, 256>(faulty)));
 }
 
-TEST(VictimAesService, TablePageIsFirstTouchedPage) {
+TEST(VictimCipherService, TablePageIsFirstTouchedPage) {
   kernel::System sys(cfg());
-  VictimAesService victim(sys, 0, victim_cfg());
+  VictimCipherService victim(sys, 0, aes_cipher(), victim_cfg());
   victim.start();
 
   // Plant a known frame at the pcp head just before installation.
@@ -90,11 +112,20 @@ TEST(VictimAesService, TablePageIsFirstTouchedPage) {
   EXPECT_EQ(sys.translate(victim.task(), victim.table_page_va()), planted);
 }
 
-TEST(VictimAesService, ConfigValidation) {
+TEST(VictimCipherService, ConfigValidation) {
   kernel::System sys(cfg());
   VictimConfig bad = victim_cfg();
   bad.sbox_offset = kPageSize - 100;  // table would not fit in the page
-  EXPECT_DEATH({ VictimAesService v(sys, 0, bad); }, "invariant");
+  EXPECT_DEATH({ VictimCipherService v(sys, 0, aes_cipher(), bad); },
+               "invariant");
+}
+
+TEST(VictimCipherService, KeySizeValidation) {
+  kernel::System sys(cfg());
+  VictimConfig bad = victim_cfg();
+  bad.key.resize(10);  // PRESENT-sized key with an AES cipher
+  EXPECT_DEATH({ VictimCipherService v(sys, 0, aes_cipher(), bad); },
+               "key size");
 }
 
 }  // namespace

@@ -1,0 +1,147 @@
+// crypto::TableCipher adapters: shape metadata, live-bit masks, usable-flip
+// polarity, and agreement with the reference cipher implementations.
+#include "crypto/table_cipher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "crypto/aes128.hpp"
+#include "crypto/present80.hpp"
+#include "support/rng.hpp"
+
+namespace explframe::crypto {
+namespace {
+
+TEST(TableCipher, AesShapes) {
+  const TableCipher& aes = cipher_for(CipherKind::kAes128);
+  EXPECT_EQ(aes.kind(), CipherKind::kAes128);
+  EXPECT_EQ(aes.table_size(), 256u);
+  EXPECT_EQ(aes.key_size(), 16u);
+  EXPECT_EQ(aes.block_size(), 16u);
+  EXPECT_EQ(aes.round_key_size(), 11u * 16u);
+  EXPECT_EQ(aes.live_bits(0), 0xFF);
+  EXPECT_TRUE(std::equal(aes.canonical_table().begin(),
+                         aes.canonical_table().end(),
+                         Aes128::sbox().begin()));
+}
+
+TEST(TableCipher, PresentShapes) {
+  const TableCipher& present = cipher_for(CipherKind::kPresent80);
+  EXPECT_EQ(present.kind(), CipherKind::kPresent80);
+  EXPECT_EQ(present.table_size(), 16u);
+  EXPECT_EQ(present.key_size(), 10u);
+  EXPECT_EQ(present.block_size(), 8u);
+  EXPECT_EQ(present.round_key_size(), 32u * 8u);
+  EXPECT_EQ(present.live_bits(3), 0x0F);
+}
+
+TEST(TableCipher, AesEncryptMatchesReference) {
+  const TableCipher& aes = cipher_for(CipherKind::kAes128);
+  Rng rng(11);
+  const auto key = random_key(aes, rng.next());
+  std::vector<std::uint8_t> rk(aes.round_key_size());
+  aes.expand_key(key, rk);
+
+  Aes128::Key ref_key{};
+  std::copy(key.begin(), key.end(), ref_key.begin());
+  const auto ref_rk = Aes128::expand_key(ref_key);
+
+  for (int i = 0; i < 8; ++i) {
+    Aes128::Block pt;
+    rng.fill_bytes(pt);
+    std::vector<std::uint8_t> ct(16);
+    aes.encrypt(pt, rk, aes.canonical_table(), ct);
+    const Aes128::Block ref_ct = Aes128::encrypt(pt, ref_rk);
+    EXPECT_TRUE(std::equal(ct.begin(), ct.end(), ref_ct.begin()));
+  }
+}
+
+TEST(TableCipher, PresentEncryptMatchesReferenceAndIgnoresDeadBits) {
+  const TableCipher& present = cipher_for(CipherKind::kPresent80);
+  Rng rng(12);
+  const auto key = random_key(present, rng.next());
+  std::vector<std::uint8_t> rk(present.round_key_size());
+  present.expand_key(key, rk);
+
+  Present80::Key ref_key{};
+  std::copy(key.begin(), key.end(), ref_key.begin());
+  const auto ref_rk = Present80::expand_key(ref_key);
+
+  // A table with garbage in the dead high nibbles must encrypt identically
+  // to the canonical table.
+  std::vector<std::uint8_t> dirty(present.canonical_table().begin(),
+                                  present.canonical_table().end());
+  for (auto& b : dirty) b |= 0xA0;
+
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t pt = rng.next();
+    std::array<std::uint8_t, 8> pt_bytes;
+    for (std::size_t b = 0; b < 8; ++b)
+      pt_bytes[b] = static_cast<std::uint8_t>(pt >> (8 * b));
+    std::vector<std::uint8_t> ct(8);
+    present.encrypt(pt_bytes, rk, dirty, ct);
+    std::uint64_t ct_u64 = 0;
+    for (std::size_t b = 0; b < 8; ++b)
+      ct_u64 |= static_cast<std::uint64_t>(ct[b]) << (8 * b);
+    EXPECT_EQ(ct_u64, Present80::encrypt(pt, ref_rk));
+  }
+}
+
+TEST(TableCipher, FaultyTableChangesCiphertext) {
+  for (const CipherKind kind : {CipherKind::kAes128, CipherKind::kPresent80}) {
+    const TableCipher& cipher = cipher_for(kind);
+    Rng rng(13);
+    const auto key = random_key(cipher, rng.next());
+    std::vector<std::uint8_t> rk(cipher.round_key_size());
+    cipher.expand_key(key, rk);
+
+    std::vector<std::uint8_t> faulty(cipher.canonical_table().begin(),
+                                     cipher.canonical_table().end());
+    faulty[5] ^= 0x01;  // a live bit in both ciphers
+
+    // A persistent table fault must surface in at least one of a handful of
+    // random blocks (overwhelmingly all of them for AES).
+    bool any_diff = false;
+    for (int i = 0; i < 8 && !any_diff; ++i) {
+      std::vector<std::uint8_t> pt(cipher.block_size());
+      rng.fill_bytes(pt);
+      std::vector<std::uint8_t> good(cipher.block_size());
+      std::vector<std::uint8_t> bad(cipher.block_size());
+      cipher.encrypt(pt, rk, cipher.canonical_table(), good);
+      cipher.encrypt(pt, rk, faulty, bad);
+      any_diff = good != bad;
+    }
+    EXPECT_TRUE(any_diff) << to_string(kind);
+  }
+}
+
+TEST(TableCipher, UsableFlipPolarity) {
+  const TableCipher& aes = cipher_for(CipherKind::kAes128);
+  // Aes sbox[0] = 0x63 = 0110'0011: bit 0 set, bit 2 clear.
+  EXPECT_TRUE(aes.usable_flip(0, 0, /*to_one=*/false));   // 1 -> 0 on a set bit
+  EXPECT_FALSE(aes.usable_flip(0, 0, /*to_one=*/true));   // anti cell, bit set
+  EXPECT_TRUE(aes.usable_flip(0, 2, /*to_one=*/true));    // 0 -> 1 on clear bit
+  EXPECT_FALSE(aes.usable_flip(0, 2, /*to_one=*/false));
+  EXPECT_FALSE(aes.usable_flip(256, 0, false));  // out of window
+
+  const TableCipher& present = cipher_for(CipherKind::kPresent80);
+  // High-nibble bits are dead: never usable regardless of polarity.
+  for (std::uint8_t bit = 4; bit < 8; ++bit) {
+    EXPECT_FALSE(present.usable_flip(0, bit, true));
+    EXPECT_FALSE(present.usable_flip(0, bit, false));
+  }
+  // Present sbox[0] = 0xC = 1100: bit 2 set, bit 0 clear.
+  EXPECT_TRUE(present.usable_flip(0, 2, /*to_one=*/false));
+  EXPECT_TRUE(present.usable_flip(0, 0, /*to_one=*/true));
+}
+
+TEST(TableCipher, RandomKeyIsDeterministicPerSeed) {
+  const TableCipher& aes = cipher_for(CipherKind::kAes128);
+  EXPECT_EQ(random_key(aes, 1), random_key(aes, 1));
+  EXPECT_NE(random_key(aes, 1), random_key(aes, 2));
+  EXPECT_EQ(random_key(aes, 1).size(), aes.key_size());
+}
+
+}  // namespace
+}  // namespace explframe::crypto

@@ -1,0 +1,158 @@
+// fault::Analysis — the engine adapters behind the unified interface: key
+// recovery through the interface for all three engines, capability flags,
+// and factory guard rails.
+#include "fault/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "crypto/aes128.hpp"
+#include "crypto/present80.hpp"
+#include "fault/injection.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace explframe::fault {
+namespace {
+
+using crypto::Aes128;
+using crypto::CipherKind;
+using crypto::Present80;
+using crypto::cipher_for;
+
+TEST(FaultModelFor, DerivesValuesFromTemplate) {
+  const auto& aes = cipher_for(CipherKind::kAes128);
+  const FaultModel f = fault_model_for(aes, 0x42, 3);
+  EXPECT_EQ(f.table_index, 0x42);
+  EXPECT_EQ(f.mask, 0x08);
+  EXPECT_EQ(f.v, Aes128::sbox()[0x42]);
+  EXPECT_EQ(f.v_new, Aes128::sbox()[0x42] ^ 0x08);
+
+  // Dead bits produce an empty mask (the flip cannot fault the cipher).
+  const auto& present = cipher_for(CipherKind::kPresent80);
+  EXPECT_EQ(fault_model_for(present, 5, 6).mask, 0);
+  EXPECT_EQ(fault_model_for(present, 5, 1).mask, 0x02);
+}
+
+TEST(Analysis, AesPfaRecoversKeyThroughInterface) {
+  Rng rng(101);
+  Aes128::Key key;
+  rng.fill_bytes(key);
+  const auto rk = Aes128::expand_key(key);
+  auto table = Aes128::sbox();
+  const SboxByteFault fault{0x17, 0x20};
+  const auto [v, v_new] = apply_fault(table, fault);
+
+  const auto analysis =
+      make_analysis(AnalysisKind::kPfaMissingValue,
+                    cipher_for(CipherKind::kAes128),
+                    FaultModel{fault.index, fault.mask, v, v_new});
+  EXPECT_FALSE(analysis->wants_pairs());
+  EXPECT_FALSE(analysis->wants_known_pair());
+  EXPECT_EQ(analysis->residual_search(), 0u);
+
+  std::optional<std::vector<std::uint8_t>> recovered;
+  while (analysis->ciphertext_count() < 20'000) {
+    for (int i = 0; i < 256; ++i) {
+      Aes128::Block pt;
+      rng.fill_bytes(pt);
+      analysis->add_ciphertext(Aes128::encrypt_with_sbox(pt, rk, table));
+    }
+    if ((recovered = analysis->recover_key())) break;
+  }
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_TRUE(std::equal(recovered->begin(), recovered->end(), key.begin(),
+                         key.end()));
+  EXPECT_EQ(analysis->remaining_keyspace_log2(), 0.0);
+
+  analysis->reset();
+  EXPECT_EQ(analysis->ciphertext_count(), 0u);
+  EXPECT_FALSE(analysis->recover_key().has_value());
+}
+
+TEST(Analysis, PresentPfaRecoversKeyThroughInterface) {
+  Rng rng(102);
+  Present80::Key key;
+  rng.fill_bytes(key);
+  const auto rk = Present80::expand_key(key);
+  auto table = Present80::sbox();
+  const SboxByteFault fault{0x9, 0x4};
+  const auto [v, v_new] = apply_fault(table, fault);
+
+  const auto analysis =
+      make_analysis(AnalysisKind::kPfaMissingValue,
+                    cipher_for(CipherKind::kPresent80),
+                    FaultModel{fault.index, fault.mask, v, v_new});
+  EXPECT_TRUE(analysis->wants_known_pair());
+
+  const auto encrypt_bytes = [&](std::uint64_t pt) {
+    return u64_to_le_bytes(Present80::encrypt_with_sbox(pt, rk, table));
+  };
+
+  // Without the known pair the residual search cannot run.
+  for (int i = 0; i < 500; ++i) analysis->add_ciphertext(encrypt_bytes(rng.next()));
+  EXPECT_FALSE(analysis->recover_key().has_value());
+
+  const std::uint64_t known_pt = rng.next();
+  analysis->set_known_pair(u64_to_le_bytes(known_pt),
+                           encrypt_bytes(known_pt));
+
+  std::optional<std::vector<std::uint8_t>> recovered;
+  while (analysis->ciphertext_count() < 5'000) {
+    if ((recovered = analysis->recover_key())) break;
+    for (int i = 0; i < 25; ++i)
+      analysis->add_ciphertext(encrypt_bytes(rng.next()));
+  }
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_TRUE(std::equal(recovered->begin(), recovered->end(), key.begin(),
+                         key.end()));
+  EXPECT_GT(analysis->residual_search(), 0u);
+  EXPECT_LE(analysis->residual_search(), 1u << 16);
+}
+
+TEST(Analysis, DfaConsumesPairsThroughInterface) {
+  Rng rng(103);
+  Aes128::Key key;
+  rng.fill_bytes(key);
+  const auto rk = Aes128::expand_key(key);
+
+  const auto analysis = make_analysis(AnalysisKind::kDfa,
+                                      cipher_for(CipherKind::kAes128), {});
+  EXPECT_TRUE(analysis->wants_pairs());
+
+  std::optional<std::vector<std::uint8_t>> recovered;
+  for (int i = 0; i < 64 && !recovered; ++i) {
+    // Random round-9 fault in a random state byte: covers all 4 columns.
+    Aes128::Block pt;
+    rng.fill_bytes(pt);
+    const auto byte_index = static_cast<std::size_t>(rng.uniform(16));
+    const auto mask = static_cast<std::uint8_t>(1 + rng.uniform(255));
+    analysis->add_pair(
+        Aes128::encrypt(pt, rk),
+        Aes128::encrypt_with_transient_fault(pt, rk, 9, byte_index, mask));
+    recovered = analysis->recover_key();
+  }
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_TRUE(std::equal(recovered->begin(), recovered->end(), key.begin(),
+                         key.end()));
+}
+
+TEST(Analysis, FactoryRejectsUnsupportedCombinations) {
+  EXPECT_DEATH(make_analysis(AnalysisKind::kDfa,
+                             cipher_for(CipherKind::kPresent80), {}),
+               "AES-only");
+  EXPECT_DEATH(make_analysis(AnalysisKind::kPfaMaxLikelihood,
+                             cipher_for(CipherKind::kPresent80), {}),
+               "AES-only");
+}
+
+TEST(Analysis, Names) {
+  EXPECT_STREQ(to_string(AnalysisKind::kPfaMissingValue), "pfa-missing-value");
+  EXPECT_STREQ(to_string(AnalysisKind::kPfaMaxLikelihood),
+               "pfa-max-likelihood");
+  EXPECT_STREQ(to_string(AnalysisKind::kDfa), "dfa");
+}
+
+}  // namespace
+}  // namespace explframe::fault

@@ -3,7 +3,7 @@
 // together in ways no single-module test covers.
 #include <gtest/gtest.h>
 
-#include "attack/explframe.hpp"
+#include "attack/campaign.hpp"
 #include "attack/spray.hpp"
 #include "kernel/noise.hpp"
 #include "support/rng.hpp"
@@ -76,14 +76,12 @@ TEST(Integration, ExplFrameBeatsSprayBaseline) {
   for (std::uint64_t seed = 10; seed < 14; ++seed) {
     {
       kernel::System sys(integration_cfg(seed));
-      attack::ExplFrameConfig cfg;
+      attack::CampaignConfig cfg;
       cfg.templating.buffer_bytes = 4 * kMiB;
       cfg.templating.hammer_iterations = 100'000;
-      Rng rng(seed);
-      rng.fill_bytes(cfg.victim.key);
       cfg.ciphertext_budget = 1;  // corruption only; skip full PFA here
       cfg.seed = seed;
-      attack::ExplFrameAttack attack(sys, cfg);
+      attack::ExplFrameCampaign attack(sys, cfg);
       const auto r = attack.run();
       if (!r.template_found) continue;
       ++attempts;
@@ -95,8 +93,6 @@ TEST(Integration, ExplFrameBeatsSprayBaseline) {
       cfg.buffer_bytes = 4 * kMiB;
       cfg.hammer_iterations = 100'000;
       cfg.pairs = 8;
-      Rng rng(seed);
-      rng.fill_bytes(cfg.victim.key);
       cfg.seed = seed;
       attack::SprayBaseline spray(sys, cfg);
       spray_hits += spray.run().victim_corrupted ? 1 : 0;
@@ -113,8 +109,6 @@ TEST(Integration, SprayStillFlipsSomewhere) {
   cfg.buffer_bytes = 4 * kMiB;
   cfg.hammer_iterations = 100'000;
   cfg.pairs = 16;
-  Rng rng(20);
-  rng.fill_bytes(cfg.victim.key);
   attack::SprayBaseline spray(sys, cfg);
   const auto report = spray.run();
   EXPECT_GT(report.flips_anywhere, 0u);

@@ -56,6 +56,51 @@ TEST(Table, BoolCells) {
   EXPECT_EQ(Table::to_cell(false), "no");
 }
 
+TEST(Table, MarkdownRendering) {
+  Table t({"phase", "rate"});
+  t.row("steer | hammer", 1);  // pipe must be escaped in cells
+  t.row("analyse", 2);
+  const std::string out = t.render(TableFormat::kMarkdown);
+  EXPECT_EQ(out, "| phase | rate |\n"
+                 "| --- | --- |\n"
+                 "| steer \\| hammer | 1 |\n"
+                 "| analyse | 2 |\n");
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"name", "value"});
+  t.row("plain", 1);
+  t.row("with, comma", 2);
+  t.add_row({"with \"quote\"", "3"});
+  const std::string out = t.render(TableFormat::kCsv);
+  EXPECT_EQ(out, "name,value\n"
+                 "plain,1\n"
+                 "\"with, comma\",2\n"
+                 "\"with \"\"quote\"\"\",3\n");
+}
+
+TEST(Table, PrintHonoursFormat) {
+  Table t({"a"});
+  t.row(1);
+  std::ostringstream ascii, csv;
+  t.print(ascii);
+  t.print(csv, TableFormat::kCsv);
+  EXPECT_NE(ascii.str().find('+'), std::string::npos);
+  EXPECT_EQ(csv.str(), "a\n1\n");
+}
+
+TEST(Table, ParseFormat) {
+  EXPECT_EQ(parse_table_format("ascii"), TableFormat::kAscii);
+  EXPECT_EQ(parse_table_format("markdown"), TableFormat::kMarkdown);
+  EXPECT_EQ(parse_table_format("md"), TableFormat::kMarkdown);
+  EXPECT_EQ(parse_table_format("csv"), TableFormat::kCsv);
+  EXPECT_EQ(parse_table_format("nonsense", TableFormat::kMarkdown),
+            TableFormat::kMarkdown);
+  EXPECT_EQ(try_parse_table_format("csv"), TableFormat::kCsv);
+  EXPECT_EQ(try_parse_table_format("nonsense"), std::nullopt);
+  EXPECT_EQ(try_parse_table_format(""), std::nullopt);
+}
+
 TEST(Table, BannerContainsTitle) {
   std::ostringstream os;
   print_banner(os, "EXP-T1");
