@@ -55,8 +55,10 @@ CampaignReport CampaignRunner::run_trial(const RunnerConfig& config,
 
 CampaignAggregate CampaignRunner::run() {
   EXPLFRAME_CHECK(config_.trials > 0);
+  // RunnerConfig promises threads == 0 behaves like 1, and there is never a
+  // point in spinning up more workers than there are trials.
   const std::uint32_t workers =
-      std::max(1u, std::min(config_.threads, config_.trials));
+      std::clamp<std::uint32_t>(config_.threads, 1u, config_.trials);
 
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<CampaignReport> reports(config_.trials);

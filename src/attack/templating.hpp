@@ -66,6 +66,9 @@ struct TemplateReport {
   std::vector<FlipRecord> flips;
   std::uint64_t rows_scanned = 0;
   std::uint64_t rows_skipped_timing = 0;  ///< Bank check failed (layout gap).
+  /// Target row sits at a physical bank edge (one neighbour missing) — the
+  /// row was skipped, not hammered (previously miscounted as "no flips").
+  std::uint64_t rows_skipped_edge = 0;
   std::uint64_t pages_with_flips = 0;
   SimTime elapsed = 0;
 };

@@ -7,9 +7,26 @@
 
 namespace explframe::dram {
 
+namespace {
+
+/// Validated before any member is built: a zero refresh window would make
+/// advance() loop forever the first time the clock moves, and a row-less
+/// geometry has no storage to model (and would trip the address-mapping
+/// bit-width asserts with a far less helpful message).
+const Geometry& validate_device_config(const Geometry& geometry,
+                                       const DeviceParams& params) {
+  EXPLFRAME_CHECK_MSG(params.timings.refresh_window_ns > 0,
+                      "refresh_window_ns must be positive");
+  EXPLFRAME_CHECK_MSG(geometry.total_rows() > 0 && geometry.row_bytes > 0,
+                      "geometry must have at least one non-empty row");
+  return geometry;
+}
+
+}  // namespace
+
 DramDevice::DramDevice(const Geometry& geometry, const DeviceParams& params,
                        std::uint64_t seed)
-    : geometry_(geometry),
+    : geometry_(validate_device_config(geometry, params)),
       params_(params),
       mapping_(geometry, params.mapping),
       weak_cells_(geometry, params.weak_cells, seed),
@@ -257,6 +274,215 @@ SimTime DramDevice::access(PhysAddr addr) {
   }
   advance(latency);
   return latency;
+}
+
+void DramDevice::hammer_burst(std::span<const PhysAddr> aggressors,
+                              std::uint64_t iterations) {
+  for (const PhysAddr a : aggressors)
+    EXPLFRAME_CHECK(a < geometry_.total_bytes());
+  if (aggressors.empty() || iterations == 0) return;
+
+  // --- Warm-up: run the first iteration exactly, then the second while
+  // recording which accesses activate. After any full pass, the open row of
+  // every touched bank is whatever row the pass last accessed there, so the
+  // hit/conflict pattern of iteration 1 repeats verbatim in every later
+  // iteration (only these aggressors touch these banks during the burst).
+  std::uint64_t done = 0;
+  for (const PhysAddr a : aggressors) access(a);
+  if (++done == iterations) return;
+
+  struct PatternAccess {
+    DramAddress coord;
+    std::uint64_t flat = 0;
+    bool activates = false;
+  };
+  std::vector<PatternAccess> pattern(aggressors.size());
+  for (std::size_t i = 0; i < aggressors.size(); ++i) {
+    PatternAccess& p = pattern[i];
+    p.coord = mapping_.decode(aggressors[i]);
+    p.flat = flat_row(geometry_, p.coord);
+    p.activates = open_row_[flat_bank(geometry_, p.coord)] !=
+                  static_cast<std::int64_t>(p.coord.row);
+    access(aggressors[i]);
+  }
+  if (++done == iterations) return;
+
+  // --- Steady-state schedule: per-iteration latency and activation count,
+  // the per-iteration disturbance increments of each weak victim row, and
+  // the per-iteration activation multiplicity of each aggressor row (what
+  // the TRR sampler observes).
+  struct VictimDelta {
+    std::uint64_t flat = 0;
+    DramAddress coord;       ///< Victim row, col 0 (for the pattern check).
+    std::uint32_t above = 0;  ///< acts_above increments per iteration.
+    std::uint32_t below = 0;  ///< acts_below increments per iteration.
+  };
+  struct AggressorActs {
+    std::uint64_t flat = 0;
+    std::uint32_t per_iter = 0;
+  };
+  SimTime iter_latency = 0;
+  std::uint64_t acts_per_iter = 0;
+  std::vector<VictimDelta> victims;
+  std::vector<AggressorActs> agg_rows;
+  const auto victim_at = [&](std::uint64_t flat,
+                             const DramAddress& coord) -> VictimDelta& {
+    for (VictimDelta& v : victims)
+      if (v.flat == flat) return v;
+    victims.push_back({flat, coord, 0, 0});
+    return victims.back();
+  };
+  for (const PatternAccess& p : pattern) {
+    iter_latency += p.activates ? params_.timings.row_conflict_ns
+                                : params_.timings.row_hit_ns;
+    if (!p.activates) continue;
+    ++acts_per_iter;
+    bool known = false;
+    for (AggressorActs& r : agg_rows)
+      if (r.flat == p.flat) {
+        ++r.per_iter;
+        known = true;
+        break;
+      }
+    if (!known) agg_rows.push_back({p.flat, 1});
+    if (p.coord.row > 0 && weak_row_[p.flat - 1] != 0) {
+      DramAddress v = p.coord;
+      v.row -= 1;
+      v.col = 0;
+      ++victim_at(p.flat - 1, v).below;
+    }
+    if (p.coord.row + 1 < geometry_.rows_per_bank &&
+        weak_row_[p.flat + 1] != 0) {
+      DramAddress v = p.coord;
+      v.row += 1;
+      v.col = 0;
+      ++victim_at(p.flat + 1, v).above;
+    }
+  }
+
+  // --- Fast-path eligibility. The analytic sampler model relies on every
+  // activated row staying tracked between refreshes: true when the rows fit
+  // the sampler and all survived the warm-up insertions (after the first
+  // refresh clears the sampler, only burst rows repopulate it, so no later
+  // insertion can evict). A zero per-iteration latency would make the
+  // refresh boundary unsolvable. Otherwise, stay on the exact loop.
+  bool fast = iter_latency > 0;
+  if (fast && params_.trr.enabled) {
+    if (agg_rows.size() > params_.trr.sampler_entries) fast = false;
+    for (const AggressorActs& r : agg_rows)
+      if (fast && trr_sampler_.find(r.flat) == trr_sampler_.end()) fast = false;
+  }
+  if (!fast) {
+    for (; done < iterations; ++done)
+      for (const PhysAddr a : aggressors) access(a);
+    return;
+  }
+
+  // Apply `n` eventless iterations in bulk. Counter arithmetic is modular
+  // like the slow path's, and operator[] creates absent entries exactly
+  // where the per-access increments would have.
+  const auto bulk_apply = [&](std::uint64_t n) {
+    now_ += n * iter_latency;
+    total_acts_ += n * acts_per_iter;
+    for (const VictimDelta& v : victims) {
+      RowDisturbance& d = disturbance_[v.flat];
+      d.acts_above += static_cast<std::uint32_t>(n * v.above);
+      d.acts_below += static_cast<std::uint32_t>(n * v.below);
+    }
+    if (params_.trr.enabled)
+      for (const AggressorActs& r : agg_rows)
+        trr_sampler_[r.flat] += static_cast<std::uint32_t>(n * r.per_iter);
+  };
+
+  std::uint64_t rem = iterations - done;
+  while (rem > 0) {
+    // Find the earliest iteration (1-based from here) containing an event.
+    // Between events nothing observable happens, so those iterations can be
+    // bulk-applied; the event iteration itself is replayed per-access,
+    // which reproduces intra-iteration ordering (flip vs TRR vs refresh)
+    // exactly.
+    std::uint64_t next_event = rem + 1;
+
+    // (a) Refresh: first iteration whose running clock reaches the window
+    // boundary (advance() guarantees now_ < next_refresh_ here).
+    {
+      const SimTime until = next_refresh_ - now_;
+      const std::uint64_t i = (until + iter_latency - 1) / iter_latency;
+      next_event = std::min(next_event, std::max<std::uint64_t>(i, 1));
+    }
+
+    // (b) TRR intervention: a tracked aggressor's activation count reaches
+    // the threshold. Counts stay below the threshold between events, so the
+    // crossing iteration follows from the per-iteration multiplicity.
+    if (params_.trr.enabled) {
+      for (const AggressorActs& r : agg_rows) {
+        const auto it = trr_sampler_.find(r.flat);
+        const std::uint64_t count =
+            it != trr_sampler_.end() ? it->second : 0;
+        const std::uint64_t needed =
+            params_.trr.threshold > count ? params_.trr.threshold - count : 1;
+        next_event =
+            std::min(next_event, (needed + r.per_iter - 1) / r.per_iter);
+      }
+    }
+
+    // (c) Weak-cell flip: the first iteration whose end-of-iteration
+    // disturbance satisfies the flip condition — evaluated with the very
+    // expression check_victim_row uses, so the crossing point is exact.
+    // Cell data and coupling are constant between events (flips are events
+    // themselves), making the condition monotone in the iteration count.
+    for (const VictimDelta& v : victims) {
+      const auto& cells = weak_cells_.cells_in_row(v.flat);
+      if (cells.empty()) continue;
+      std::uint32_t a0 = 0;
+      std::uint32_t b0 = 0;
+      if (const auto it = disturbance_.find(v.flat);
+          it != disturbance_.end()) {
+        a0 = it->second.acts_above;
+        b0 = it->second.acts_below;
+      }
+      std::uint8_t* data = row_storage(v.flat);
+      for (const WeakCell& cell : cells) {
+        const bool stored = (data[cell.col] >> cell.bit) & 1u;
+        if (stored != cell.true_cell) continue;  // not charged: cannot flip
+        double factor = 1.0;
+        if (params_.data_pattern_sensitivity) {
+          const bool above = aggressor_bit(v.coord, -1, cell.col, cell.bit);
+          const bool below = aggressor_bit(v.coord, +1, cell.col, cell.bit);
+          if (!((above != stored) || (below != stored)))
+            factor = params_.same_pattern_coupling;
+        }
+        const auto crosses = [&](std::uint64_t i) {
+          double effective =
+              static_cast<double>(a0 + i * v.above) * cell.couple_above +
+              static_cast<double>(b0 + i * v.below) * cell.couple_below;
+          effective *= factor;
+          return effective >= static_cast<double>(cell.threshold);
+        };
+        if (!crosses(rem)) continue;  // no flip within the remaining budget
+        std::uint64_t lo = 1;
+        std::uint64_t hi = rem;
+        while (lo < hi) {
+          const std::uint64_t mid = lo + (hi - lo) / 2;
+          if (crosses(mid)) {
+            hi = mid;
+          } else {
+            lo = mid + 1;
+          }
+        }
+        next_event = std::min(next_event, lo);
+      }
+    }
+
+    if (next_event > rem) {  // nothing left to observe: finish in bulk
+      bulk_apply(rem);
+      return;
+    }
+    if (next_event > 1) bulk_apply(next_event - 1);
+    rem -= next_event - 1;
+    for (const PhysAddr a : aggressors) access(a);
+    --rem;
+  }
 }
 
 void DramDevice::inject_flip(PhysAddr addr, std::uint8_t bit) {

@@ -91,6 +91,20 @@ class DramDevice {
   /// timing side channel.
   SimTime access(PhysAddr addr);
 
+  /// Batched hammer: equivalent to `iterations` rounds of `access()` over
+  /// `aggressors` in order, but instead of stepping the model once per
+  /// activation it advances the clock analytically between "interesting"
+  /// events — refresh-window boundaries, TRR interventions and weak-cell
+  /// threshold crossings, each solved for in closed form — and replays only
+  /// the iterations containing such an event through the exact per-access
+  /// path. Bit-identical to the slow loop: same flip sequence
+  /// (addr/bit/direction/time), same refresh count, same TRR interventions
+  /// and ECC bookkeeping. Falls back to the per-access loop for
+  /// configurations the analytic model does not cover (zero-latency
+  /// timings, TRR sampler thrashing).
+  void hammer_burst(std::span<const PhysAddr> aggressors,
+                    std::uint64_t iterations);
+
   // ---- Maintenance -----------------------------------------------------
   /// Advance the device clock without accesses (models the attacker waiting).
   void idle(SimTime duration);

@@ -9,9 +9,7 @@ HammerResult HammerEngine::hammer(std::span<const PhysAddr> aggressors,
   HammerResult result;
   if (aggressors.empty()) return result;
   const SimTime start = device_->now();
-  for (std::uint64_t i = 0; i < iterations; ++i) {
-    for (const PhysAddr a : aggressors) device_->access(a);
-  }
+  device_->hammer_burst(aggressors, iterations);
   result.iterations = iterations;
   result.elapsed = device_->now() - start;
   result.flips = device_->drain_flips();
@@ -25,7 +23,9 @@ HammerResult HammerEngine::hammer_double_sided(PhysAddr victim_row_addr,
   PhysAddr below = 0;
   if (!map.neighbor_row_addr(victim_row_addr, -1, 0, above) ||
       !map.neighbor_row_addr(victim_row_addr, +1, 0, below)) {
-    return {};
+    HammerResult skipped;
+    skipped.valid = false;
+    return skipped;
   }
   const PhysAddr pair[2] = {above, below};
   return hammer(pair, iterations);
@@ -37,7 +37,9 @@ HammerResult HammerEngine::hammer_single_sided(PhysAddr aggressor,
   PhysAddr partner = 0;
   if (!map.neighbor_row_addr(aggressor, +8, 0, partner) &&
       !map.neighbor_row_addr(aggressor, -8, 0, partner)) {
-    return {};
+    HammerResult skipped;
+    skipped.valid = false;
+    return skipped;
   }
   const PhysAddr pair[2] = {aggressor, partner};
   return hammer(pair, iterations);

@@ -174,6 +174,20 @@ SimTime System::uncached_access(Task& task, vm::VirtAddr va) {
                        (va - page));
 }
 
+SimTime System::hammer_burst(Task& task,
+                             std::span<const vm::VirtAddr> aggressors,
+                             std::uint64_t iterations) {
+  std::vector<dram::PhysAddr> phys;
+  phys.reserve(aggressors.size());
+  for (const vm::VirtAddr va : aggressors) {
+    if (!touch(task, va)) return 0;
+    phys.push_back(phys_of(task, va));
+  }
+  const SimTime start = dram_->now();
+  dram_->hammer_burst(phys, iterations);
+  return dram_->now() - start;
+}
+
 mm::Pfn System::translate(const Task& task, vm::VirtAddr va) const {
   const vm::VirtAddr page = va & ~vm::VirtAddr{kPageSize - 1};
   const vm::Pte* pte = task.space().page_table().find(page);

@@ -72,6 +72,15 @@ class System {
   /// Returns 0 on invalid access.
   SimTime uncached_access(Task& task, vm::VirtAddr va);
 
+  /// Batched hammer loop: equivalent to `iterations` rounds of
+  /// uncached_access over `aggressors` in order (bit-identical flips,
+  /// refreshes and simulated time), but translates each address once and
+  /// drives DramDevice::hammer_burst instead of walking the page table per
+  /// access. Returns the simulated time spent, or 0 if any address is
+  /// invalid (nothing is hammered then).
+  SimTime hammer_burst(Task& task, std::span<const vm::VirtAddr> aggressors,
+                       std::uint64_t iterations);
+
   // ---- Kernel-side introspection (harness ground truth, not attack API) ---
   /// Current translation, or kInvalidPfn if not present. Does not fault.
   mm::Pfn translate(const Task& task, vm::VirtAddr va) const;

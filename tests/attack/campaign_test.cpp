@@ -154,6 +154,31 @@ TEST(CampaignRunner, AesAndPresentShareTheCampaignPath) {
   EXPECT_LE(present.succeeded, present.key_recovered);
 }
 
+TEST(CampaignRunner, ZeroThreadsClampsToOne) {
+  // RunnerConfig documents "0 = 1": a zero thread count must run serially,
+  // not hang or crash, and produce exactly the single-threaded results.
+  RunnerConfig cfg = runner_cfg(crypto::CipherKind::kAes128, 2, 0);
+  const CampaignAggregate zero = CampaignRunner(cfg).run();
+  cfg.threads = 1;
+  const CampaignAggregate one = CampaignRunner(cfg).run();
+  ASSERT_EQ(zero.reports.size(), 2u);
+  for (std::size_t i = 0; i < zero.reports.size(); ++i)
+    EXPECT_TRUE(reports_equal(zero.reports[i], one.reports[i]))
+        << "trial " << i;
+}
+
+TEST(CampaignRunner, MoreThreadsThanTrialsClampsToTrials) {
+  // Oversubscription must not spawn idle workers or change results.
+  RunnerConfig cfg = runner_cfg(crypto::CipherKind::kAes128, 2, 16);
+  const CampaignAggregate wide = CampaignRunner(cfg).run();
+  cfg.threads = 1;
+  const CampaignAggregate serial = CampaignRunner(cfg).run();
+  ASSERT_EQ(wide.reports.size(), 2u);
+  for (std::size_t i = 0; i < wide.reports.size(); ++i)
+    EXPECT_TRUE(reports_equal(wide.reports[i], serial.reports[i]))
+        << "trial " << i;
+}
+
 TEST(CampaignRunner, DistinctMasterSeedsDecorrelateTrials) {
   const RunnerConfig cfg_a = runner_cfg(crypto::CipherKind::kAes128, 2, 2);
   RunnerConfig cfg_b = cfg_a;

@@ -15,6 +15,23 @@ DeviceParams quiet_params() {
   return p;
 }
 
+TEST(DramDeviceDeathTest, RejectsZeroRefreshWindow) {
+  // A zero tREFW would make advance() loop forever on the first access.
+  DeviceParams p = quiet_params();
+  p.timings.refresh_window_ns = 0;
+  EXPECT_DEATH(DramDevice(Geometry::with_capacity(64 * kMiB), p, 1),
+               "refresh_window_ns");
+}
+
+TEST(DramDeviceDeathTest, RejectsRowlessGeometry) {
+  Geometry g;
+  g.rows_per_bank = 0;
+  EXPECT_DEATH(DramDevice(g, quiet_params(), 1), "geometry");
+  Geometry g2;
+  g2.row_bytes = 0;
+  EXPECT_DEATH(DramDevice(g2, quiet_params(), 1), "geometry");
+}
+
 TEST(DramDevice, ReadBackWrittenData) {
   DramDevice dev(Geometry::with_capacity(64 * kMiB), quiet_params(), 1);
   std::vector<std::uint8_t> data(100);

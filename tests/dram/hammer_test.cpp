@@ -49,6 +49,22 @@ TEST(HammerEngine, EmptyAggressorListIsNoop) {
   DramDevice dev(g, no_flip_params(), 1);
   HammerEngine engine(dev);
   const auto result = engine.hammer({}, 100);
+  EXPECT_TRUE(result.valid);  // a no-op, not a failure
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(HammerEngine, SingleSidedRefusesWhenNoPartnerRow) {
+  Geometry g;
+  g.banks = 2;
+  g.rows_per_bank = 8;  // no row has a same-bank partner 8 rows away
+  g.row_bytes = 4 * kKiB;
+  const DeviceParams p = no_flip_params();
+  DramDevice dev(g, p, 1);
+  HammerEngine engine(dev);
+  AddressMapping map(g, p.mapping);
+  const auto result =
+      engine.hammer_single_sided(map.encode({0, 0, 0, 3, 0}), 10);
+  EXPECT_FALSE(result.valid);
   EXPECT_EQ(result.iterations, 0u);
 }
 
@@ -58,10 +74,19 @@ TEST(HammerEngine, DoubleSidedRefusesEdgeRows) {
   DramDevice dev(g, p, 1);
   HammerEngine engine(dev);
   AddressMapping map(g, p.mapping);
+  // An edge row has only one neighbour: the result must be flagged invalid,
+  // not look like a successful hammer that found no flips.
   const PhysAddr top_row = map.encode({0, 0, 0, 0, 0});
-  EXPECT_EQ(engine.hammer_double_sided(top_row, 10).iterations, 0u);
+  const HammerResult top = engine.hammer_double_sided(top_row, 10);
+  EXPECT_FALSE(top.valid);
+  EXPECT_EQ(top.iterations, 0u);
+  const PhysAddr bottom_row =
+      map.encode({0, 0, 0, g.rows_per_bank - 1, 0});
+  EXPECT_FALSE(engine.hammer_double_sided(bottom_row, 10).valid);
   const PhysAddr mid_row = map.encode({0, 0, 0, 100, 0});
-  EXPECT_EQ(engine.hammer_double_sided(mid_row, 10).iterations, 10u);
+  const HammerResult mid = engine.hammer_double_sided(mid_row, 10);
+  EXPECT_TRUE(mid.valid);
+  EXPECT_EQ(mid.iterations, 10u);
 }
 
 TEST(HammerEngine, DoubleSidedFlipsFasterThanSingleSided) {

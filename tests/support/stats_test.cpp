@@ -64,9 +64,28 @@ TEST(Samples, SingleElement) {
   Samples s;
   s.add(42.0);
   EXPECT_DOUBLE_EQ(s.median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
   EXPECT_DOUBLE_EQ(s.percentile(99), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
   EXPECT_DOUBLE_EQ(s.mean(), 42.0);
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(Samples, EmptySetIsDefinedZero) {
+  // An empty sample set (e.g. ciphertexts_used with zero successful trials)
+  // must report zeros everywhere, not crash or return garbage.
+  const Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 0.0);
 }
 
 TEST(Samples, AddAfterPercentileInvalidatesCache) {

@@ -79,6 +79,19 @@ TEST(Table, CsvRendering) {
                  "\"with \"\"quote\"\"\",3\n");
 }
 
+TEST(Table, CsvEscapesNewlinesAndHeaders) {
+  // Failure-stage names such as "steer, no frame" and free-form notes with
+  // embedded newlines must not corrupt the CSV structure; headers go
+  // through the same escaping as body cells.
+  Table t({"failure, stage", "count"});
+  t.row("steer, no frame", 3);
+  t.add_row({"line1\nline2", "4"});
+  const std::string out = t.render(TableFormat::kCsv);
+  EXPECT_EQ(out, "\"failure, stage\",count\n"
+                 "\"steer, no frame\",3\n"
+                 "\"line1\nline2\",4\n");
+}
+
 TEST(Table, PrintHonoursFormat) {
   Table t({"a"});
   t.row(1);
