@@ -7,16 +7,18 @@
 //   * TRR + ECC       — both.
 // Also reports where in the pipeline each mitigation stops the attack and
 // the mitigation-side counters (interventions / corrections). Each defence
-// is a SystemConfig entry driven through the same CampaignConfig — not a
-// code change. Trials run individually (not via CampaignRunner) because the
-// mitigation counters live on each trial's System, which the runner owns
-// transiently; the per-trial seeds still come from CampaignRunner so the
-// sweep is reproducible trial by trial.
+// row is a registered scenario (defence-none / defence-trr / defence-ecc /
+// defence-trr-ecc) — `explsim run <name>` reproduces any row on its own.
+// Trials run individually (not via CampaignRunner) because the mitigation
+// counters live on each trial's System, which the runner owns transiently;
+// the per-trial seeds still come from CampaignRunner so the sweep is
+// reproducible trial by trial.
 #include <iostream>
 #include <map>
 
 #include "attack/campaign_runner.hpp"
 #include "common.hpp"
+#include "scenario/registry.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -26,53 +28,44 @@ using namespace explframe::attack;
 
 namespace {
 
-constexpr std::uint32_t kTrials = 6;
-
 struct DefenceSpec {
-  const char* name;
-  bool trr;
-  bool ecc;
+  const char* label;
+  const char* scenario;
 };
-
-CampaignConfig campaign_cfg() {
-  CampaignConfig cfg;
-  cfg.templating.buffer_bytes = 4 * kMiB;
-  cfg.templating.hammer_iterations = 100'000;
-  cfg.templating.max_rows = 192;  // the attacker's time budget
-  cfg.ciphertext_budget = 8000;
-  return cfg;
-}
 
 }  // namespace
 
 int main() {
-  print_banner(std::cout, "EXP-D1: ExplFrame vs hardware mitigations");
-  std::cout << "(" << kTrials
-            << " machines per row; attacker gives up after 192 templated "
-               "rows)\n\n";
-
   const DefenceSpec specs[] = {
-      {"none (baseline)", false, false},
-      {"TRR", true, false},
-      {"SECDED ECC", false, true},
-      {"TRR + ECC", true, true},
+      {"none (baseline)", "defence-none"},
+      {"TRR", "defence-trr"},
+      {"SECDED ECC", "defence-ecc"},
+      {"TRR + ECC", "defence-trr-ecc"},
   };
+
+  print_banner(std::cout, "EXP-D1: ExplFrame vs hardware mitigations");
+  std::cout << "(" << scenario::builtin_scenario("defence-none").trials
+            << " machines per row; attacker gives up after "
+            << scenario::builtin_scenario("defence-none").max_rows
+            << " templated rows)\n\n";
 
   Table t({"defence", "P(usable template)", "P(key recovered)",
            "failure stage (mode)", "mitigation counters (mean)"});
   for (const DefenceSpec& spec : specs) {
+    const scenario::Scenario& s = scenario::builtin_scenario(spec.scenario);
+    const RunnerConfig cfg = s.runner_config();
+    const std::uint32_t kTrials = cfg.trials;
+    const bool has_trr = cfg.system.dram.trr.enabled;
+    const bool has_ecc = cfg.system.dram.ecc.enabled;
     std::size_t templated = 0, success = 0;
     Samples trr_hits, ecc_corr;
     std::map<std::string, std::uint32_t> stages;
     for (std::uint32_t i = 0; i < kTrials; ++i) {
-      const auto [sys_seed, camp_seed] = CampaignRunner::trial_seeds(300, i);
-      kernel::SystemConfig sys_cfg = vulnerable_system(0);
+      const auto [sys_seed, camp_seed] = CampaignRunner::trial_seeds(s.seed, i);
+      kernel::SystemConfig sys_cfg = cfg.system;
       sys_cfg.seed = sys_seed;
-      sys_cfg.dram.trr.enabled = spec.trr;
-      sys_cfg.dram.trr.threshold = 12'000;
-      sys_cfg.dram.ecc.enabled = spec.ecc;
       kernel::System sys(sys_cfg);
-      CampaignConfig camp = campaign_cfg();
+      CampaignConfig camp = cfg.campaign;
       camp.seed = camp_seed;
       const CampaignReport r = ExplFrameCampaign(sys, camp).run();
       templated += r.template_found;
@@ -92,20 +85,20 @@ int main() {
     }
 
     std::string counters = "-";
-    if (spec.trr || spec.ecc) {
+    if (has_trr || has_ecc) {
       counters.clear();
-      if (spec.trr) {
+      if (has_trr) {
         counters.append("TRR interventions ");
         counters.append(std::to_string(static_cast<long>(trr_hits.mean())));
       }
-      if (spec.ecc) {
-        if (spec.trr) counters.append(", ");
+      if (has_ecc) {
+        if (has_trr) counters.append(", ");
         counters.append("ECC corrections ");
         counters.append(std::to_string(static_cast<long>(ecc_corr.mean())));
       }
     }
 
-    t.row(spec.name,
+    t.row(spec.label,
           Table::percent(static_cast<double>(templated) / kTrials),
           Table::percent(static_cast<double>(success) / kTrials), stage,
           counters);

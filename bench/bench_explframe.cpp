@@ -17,6 +17,7 @@
 #include "attack/campaign_runner.hpp"
 #include "attack/spray.hpp"
 #include "common.hpp"
+#include "scenario/registry.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -26,29 +27,24 @@ using namespace explframe::attack;
 
 namespace {
 
-constexpr std::uint32_t kTrials = 12;
+// The configuration lives in the scenario registry (`explsim run
+// aes-single-flip` reproduces exactly this sweep); the bench only adds the
+// spray-baseline contrast and the throughput line.
+const scenario::Scenario& headline() {
+  return scenario::builtin_scenario("aes-single-flip");
+}
 
 TableFormat g_format = TableFormat::kAscii;
 
-RunnerConfig runner_cfg(std::uint32_t threads) {
-  RunnerConfig cfg;
-  cfg.trials = kTrials;
-  cfg.threads = threads;
-  cfg.system = vulnerable_system(/*seed=*/0);  // per-trial seed derived
-  cfg.campaign.cipher = crypto::CipherKind::kAes128;
-  cfg.campaign.templating.buffer_bytes = 4 * kMiB;
-  cfg.campaign.templating.hammer_iterations = 100'000;
-  cfg.campaign.templating.both_polarities = true;
-  cfg.campaign.ciphertext_budget = 8000;
-  cfg.seed = 100;
-  return cfg;
-}
-
 void run_explframe(std::uint32_t threads) {
-  std::cout << "\nExplFrame end-to-end, " << kTrials
+  const scenario::Scenario& s = headline();
+  RunnerConfig cfg = s.runner_config();
+  cfg.threads = threads;
+  std::cout << "\nExplFrame end-to-end (scenario `" << s.name << "`), "
+            << cfg.trials
             << " independent machines (64 MiB, vulnerable DDR3 module), "
             << threads << " worker threads:\n";
-  CampaignRunner runner(runner_cfg(threads));
+  CampaignRunner runner(cfg);
   const CampaignAggregate agg = runner.run();
 
   agg.phase_table().print(std::cout, g_format);
@@ -63,25 +59,30 @@ void run_explframe(std::uint32_t threads) {
 }
 
 void run_spray_baseline() {
+  const scenario::Scenario& s = headline();
+  const RunnerConfig runner = s.runner_config();  // same machine as the sweep
+  const std::uint32_t trials = s.trials;
   std::cout << "\nSpray baseline (blind unprivileged Rowhammer, same hammer "
                "budget, no steering), "
-            << kTrials << " machines:\n";
+            << trials << " machines:\n";
   std::size_t corrupted = 0;
   Samples flips;
-  for (std::uint32_t i = 0; i < kTrials; ++i) {
-    kernel::System sys(vulnerable_system(100 + i));
+  for (std::uint32_t i = 0; i < trials; ++i) {
+    kernel::SystemConfig sys_cfg = runner.system;
+    sys_cfg.seed = s.seed + i;
+    kernel::System sys(sys_cfg);
     SprayConfig cfg;
-    cfg.buffer_bytes = 4 * kMiB;
-    cfg.hammer_iterations = 100'000;
+    cfg.buffer_bytes = s.buffer_mib * kMiB;
+    cfg.hammer_iterations = s.hammer_iterations;
     cfg.pairs = 32;
-    cfg.seed = 100 + i;
+    cfg.seed = s.seed + i;
     SprayBaseline spray(sys, cfg);
     const auto r = spray.run();
     corrupted += r.victim_corrupted;
     flips.add(static_cast<double>(r.flips_anywhere));
   }
   Table t({"metric", "value"});
-  const auto ci = wilson_interval(corrupted, kTrials);
+  const auto ci = wilson_interval(corrupted, trials);
   t.row("P(victim S-box corrupted)",
         Table::percent(ci.p) + "  [" + Table::percent(ci.lo) + ", " +
             Table::percent(ci.hi) + "]");

@@ -14,6 +14,7 @@
 
 #include "attack/campaign_runner.hpp"
 #include "common.hpp"
+#include "scenario/registry.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -23,20 +24,11 @@ using namespace explframe::attack;
 
 namespace {
 
-constexpr std::uint32_t kTrials = 8;
-
+// Configuration lives in the registry: `explsim run present-single-flip`
+// reproduces this sweep (and docs/results/present-single-flip.md archives
+// its report).
 RunnerConfig runner_cfg() {
-  RunnerConfig cfg;
-  cfg.trials = kTrials;
-  cfg.threads = 2;
-  cfg.system = vulnerable_system(/*seed=*/0);
-  cfg.system.dram.weak_cells.cells_per_mib = 512.0;
-  cfg.campaign.cipher = crypto::CipherKind::kPresent80;
-  cfg.campaign.templating.buffer_bytes = 4 * kMiB;
-  cfg.campaign.templating.hammer_iterations = 100'000;
-  cfg.campaign.ciphertext_budget = 2000;
-  cfg.seed = 700;
-  return cfg;
+  return scenario::builtin_scenario("present-single-flip").runner_config();
 }
 
 }  // namespace
@@ -57,7 +49,7 @@ int main(int argc, char** argv) {
     format = *parsed;
   }
   print_banner(std::cout, "EXP-T7: end-to-end ExplFrame on PRESENT-80");
-  std::cout << "(" << kTrials
+  std::cout << "(" << runner_cfg().trials
             << " machines; denser weak-cell population than EXP-T4 because "
                "the PRESENT table exposes only 16 bytes x 4 live bits)\n\n";
 

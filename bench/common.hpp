@@ -10,45 +10,44 @@
 #include <cstdint>
 
 #include "kernel/system.hpp"
+#include "scenario/scenario.hpp"
 
 namespace explframe::bench {
+
+/// The canned machine the benches share: `mem_mib` of DDR3, two CPUs, the
+/// named weak-cell preset. The preset constants live in one place —
+/// scenario::apply_weak_cell_profile — so benches and registered scenarios
+/// can never drift apart.
+inline kernel::SystemConfig profiled_system(scenario::WeakCellProfile profile,
+                                            std::uint64_t seed,
+                                            std::uint64_t mem_mib) {
+  kernel::SystemConfig c;
+  c.memory_bytes = mem_mib * kMiB;
+  c.num_cpus = 2;
+  c.seed = seed;
+  scenario::apply_weak_cell_profile(profile, c);
+  return c;
+}
 
 /// A DDR3 module with a typical weak-cell population (used where absolute
 /// flip statistics matter, EXP-T3).
 inline kernel::SystemConfig realistic_system(std::uint64_t seed,
                                              std::uint64_t mem_mib = 256) {
-  kernel::SystemConfig c;
-  c.memory_bytes = mem_mib * kMiB;
-  c.num_cpus = 2;
-  c.seed = seed;
-  return c;
+  return profiled_system(scenario::WeakCellProfile::kRealistic, seed, mem_mib);
 }
 
 /// A highly vulnerable module + weakened thresholds so attack trials finish
 /// in seconds (used for the end-to-end experiments, EXP-T2/T4/A1).
 inline kernel::SystemConfig vulnerable_system(std::uint64_t seed,
                                               std::uint64_t mem_mib = 64) {
-  kernel::SystemConfig c;
-  c.memory_bytes = mem_mib * kMiB;
-  c.num_cpus = 2;
-  c.dram.weak_cells.cells_per_mib = 128.0;
-  c.dram.weak_cells.threshold_log_mean = 10.4;
-  c.dram.weak_cells.threshold_min = 25'000;
-  c.dram.weak_cells.threshold_max = 60'000;
-  c.dram.data_pattern_sensitivity = false;
-  c.seed = seed;
-  return c;
+  return profiled_system(scenario::WeakCellProfile::kVulnerable, seed,
+                         mem_mib);
 }
 
 /// A quiet system (no weak cells) for allocator-only experiments.
 inline kernel::SystemConfig quiet_system(std::uint64_t seed,
                                          std::uint64_t mem_mib = 64) {
-  kernel::SystemConfig c;
-  c.memory_bytes = mem_mib * kMiB;
-  c.num_cpus = 2;
-  c.dram.weak_cells.cells_per_mib = 0.0;
-  c.seed = seed;
-  return c;
+  return profiled_system(scenario::WeakCellProfile::kQuiet, seed, mem_mib);
 }
 
 }  // namespace explframe::bench

@@ -2,17 +2,19 @@
 //
 //   $ ./example_explframe_attack [seed] [--cipher=aes|present]
 //
-// Template -> plant -> steer -> re-hammer -> harvest -> PFA, through the
-// unified Campaign API: the same driver runs the AES-128 and PRESENT-80
-// victims; the cipher is a command-line switch. The attacker never reads
-// pagemap. Ground-truth lines (marked [truth]) come from the harness, not
-// the attacker's view.
+// Template -> plant -> steer -> re-hammer -> harvest -> PFA, as a single
+// trial of the registered headline scenario (`aes-single-flip` or
+// `present-single-flip`) — the machine, budgets and cipher all come from
+// the scenario registry; only the seed is a command-line knob. The attacker
+// never reads pagemap. Ground-truth lines (marked [truth]) come from the
+// harness, not the attacker's view.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
-#include "attack/campaign.hpp"
+#include "attack/campaign_runner.hpp"
+#include "scenario/registry.hpp"
 #include "support/log.hpp"
 
 using namespace explframe;
@@ -47,33 +49,20 @@ int main(int argc, char** argv) {
   }
   set_log_level(LogLevel::kInfo);
 
-  kernel::SystemConfig sys_cfg;
-  sys_cfg.memory_bytes = 64 * kMiB;
-  sys_cfg.num_cpus = 2;
-  // PRESENT's 16-byte window needs a denser weak-cell population.
-  sys_cfg.dram.weak_cells.cells_per_mib =
-      cipher == crypto::CipherKind::kPresent80 ? 512.0 : 128.0;
-  sys_cfg.dram.weak_cells.threshold_log_mean = 10.4;
-  sys_cfg.dram.weak_cells.threshold_max = 60'000;
-  sys_cfg.dram.data_pattern_sensitivity = false;
-  sys_cfg.seed = seed;
-  kernel::System sys(sys_cfg);
+  // One trial of the registered headline scenario for the chosen cipher
+  // (PRESENT's 16-byte window comes with a denser weak-cell profile there).
+  scenario::Scenario s = scenario::builtin_scenario(
+      cipher == crypto::CipherKind::kPresent80 ? "present-single-flip"
+                                               : "aes-single-flip");
+  s.seed = seed;
+  s.trials = 1;
 
-  CampaignConfig cfg;
-  cfg.cipher = cipher;
-  cfg.templating.buffer_bytes = 4 * kMiB;
-  cfg.templating.hammer_iterations = 100'000;
-  cfg.ciphertext_budget =
-      cipher == crypto::CipherKind::kPresent80 ? 2000 : 8000;
-  cfg.seed = seed;
-
-  std::printf("machine: %s, seed %llu, cipher %s\n",
-              sys.dram().geometry().describe().c_str(),
+  std::printf("scenario: %s (seed %llu, cipher %s)\n", s.name.c_str(),
               (unsigned long long)seed, crypto::to_string(cipher));
   std::printf("\nrunning ExplFrame...\n\n");
 
-  ExplFrameCampaign attack(sys, cfg);
-  const CampaignReport r = attack.run();
+  const CampaignReport r =
+      CampaignRunner::run_trial(s.runner_config(), /*trial=*/0);
   print_key("[truth] victim key: ", r.victim_key);
 
   std::printf("phase 1  TEMPLATE: %s (%llu rows scanned, %llu flips)\n",

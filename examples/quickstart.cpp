@@ -1,35 +1,25 @@
-// Quickstart: one end-to-end ExplFrame attack through the Campaign API —
-// pick a simulated machine, pick a cipher, run.
+// Quickstart: one end-to-end ExplFrame attack, driven entirely by the
+// scenario registry — the same configuration `explsim run quickstart` uses.
 //
 //   $ ./example_quickstart
 //
-// Everything the old hand-wired version spelled out (spawn attacker, build
-// victim, template, plant, steer, hammer, harvest, analyse) is now driven
-// by one CampaignConfig; swapping AES-128 for PRESENT-80 is one enum.
+// Everything (machine, cipher, budgets, seed) comes from the registered
+// `quickstart` scenario; swapping experiments is a name change. To tweak a
+// knob without recompiling: `explsim describe quickstart --scn > my.scn`,
+// edit, `explsim run my.scn`.
 #include <cstdio>
 
-#include "attack/campaign.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
 
 using namespace explframe;
 
 int main() {
-  kernel::SystemConfig machine;  // a small, Rowhammer-vulnerable DDR3 box
-  machine.memory_bytes = 64 * kMiB;
-  machine.dram.weak_cells.cells_per_mib = 128.0;
-  machine.dram.weak_cells.threshold_log_mean = 10.4;
-  machine.dram.weak_cells.threshold_max = 60'000;
-  machine.dram.data_pattern_sensitivity = false;
-  machine.seed = 3;
-  kernel::System sys(machine);
+  const scenario::Scenario& s = scenario::builtin_scenario("quickstart");
+  std::printf("scenario: %s — %s\n\n", s.name.c_str(), s.title.c_str());
 
-  attack::CampaignConfig cfg;
-  cfg.cipher = crypto::CipherKind::kAes128;  // or kPresent80 — same pipeline
-  cfg.templating.buffer_bytes = 4 * kMiB;
-  cfg.templating.hammer_iterations = 100'000;
-  cfg.ciphertext_budget = 8000;
-  cfg.seed = 3;  // victim key, templating and plaintexts derive from this
-
-  const attack::CampaignReport r = attack::ExplFrameCampaign(sys, cfg).run();
+  const scenario::ScenarioResult result = scenario::run_scenario(s);
+  const attack::CampaignReport& r = result.aggregate.reports.front();
 
   std::printf("cipher: %s\n", crypto::to_string(r.cipher));
   std::printf("failure stage: %s\n", r.failure_stage().c_str());

@@ -35,6 +35,9 @@
 
 namespace explframe::attack {
 
+/// Everything one campaign needs: the (cipher, analysis) pair, per-phase
+/// budgets, the contention knobs and the master seed. Plain data — a
+/// scenario or bench fills it in and hands it to ExplFrameCampaign.
 struct CampaignConfig {
   crypto::CipherKind cipher = crypto::CipherKind::kAes128;
   fault::AnalysisKind analysis = fault::AnalysisKind::kPfaMissingValue;
@@ -102,6 +105,8 @@ struct CampaignReport {
   std::string failure_stage() const;
 };
 
+/// Drives the six-phase pipeline above over one kernel::System. One
+/// instance per trial; run() is single-shot.
 class ExplFrameCampaign {
  public:
   ExplFrameCampaign(kernel::System& system, const CampaignConfig& config);

@@ -20,6 +20,7 @@
 
 namespace explframe::attack {
 
+/// A sweep: N trials of one campaign configuration across a worker pool.
 struct RunnerConfig {
   /// Independent simulated machines to attack.
   std::uint32_t trials = 8;
@@ -63,6 +64,8 @@ struct CampaignAggregate {
   Table phase_table() const;
 };
 
+/// Executes a RunnerConfig; see the file comment for the determinism
+/// guarantee (results are independent of thread count and scheduling).
 class CampaignRunner {
  public:
   explicit CampaignRunner(const RunnerConfig& config) : config_(config) {}

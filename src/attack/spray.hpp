@@ -15,6 +15,7 @@
 
 namespace explframe::attack {
 
+/// Budgets and target for one spray trial.
 struct SprayConfig {
   std::uint64_t buffer_bytes = 16 * kMiB;
   std::uint64_t hammer_iterations = 500'000;
@@ -26,12 +27,15 @@ struct SprayConfig {
   std::uint64_t seed = 7;
 };
 
+/// Outcome of one spray trial.
 struct SprayReport {
   bool victim_corrupted = false;  ///< Any bit of the victim's table flipped.
   std::uint64_t flips_anywhere = 0;  ///< Flips induced anywhere in DRAM.
   SimTime total_time = 0;
 };
 
+/// Runs one blind-hammering trial (the paper's comparison point for the
+/// steered attack).
 class SprayBaseline {
  public:
   SprayBaseline(kernel::System& system, const SprayConfig& config)

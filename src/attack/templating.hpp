@@ -41,6 +41,7 @@ enum class TemplateStrategy {
   kRandomPairs,
 };
 
+/// The attacker's templating budgets and strategy choice.
 struct TemplateConfig {
   TemplateStrategy strategy = TemplateStrategy::kContiguousDoubleSided;
   std::uint64_t buffer_bytes = 16 * kMiB;
@@ -62,6 +63,7 @@ struct TemplateConfig {
   std::uint64_t seed = 1;
 };
 
+/// What a scan found, plus the cost accounting the experiments report.
 struct TemplateReport {
   std::vector<FlipRecord> flips;
   std::uint64_t rows_scanned = 0;
@@ -82,6 +84,8 @@ struct TemplateReport {
 std::uint64_t discover_row_stride(kernel::System& system, kernel::Task& task,
                                   vm::VirtAddr base, std::uint64_t limit);
 
+/// The templating phase: allocates the attack buffer, scans it for
+/// hammerable pages and can later re-hammer a recorded flip's aggressors.
 class Templater {
  public:
   Templater(kernel::System& system, kernel::Task& attacker,

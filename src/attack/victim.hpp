@@ -21,6 +21,7 @@
 
 namespace explframe::attack {
 
+/// Shape of the victim's crypto context allocation.
 struct VictimConfig {
   /// Cipher key bytes; size must equal the cipher's key_size(). The
   /// campaign driver fills an empty key deterministically from its seed.
@@ -36,6 +37,8 @@ struct VictimConfig {
   bool warm_up = true;
 };
 
+/// The victim process: installs its table + round keys into demand-faulted
+/// pages and encrypts through them (reloading from memory every time).
 class VictimCipherService {
  public:
   VictimCipherService(kernel::System& system, std::uint32_t cpu,

@@ -20,6 +20,7 @@
 
 namespace explframe::crypto {
 
+/// The ciphers the simulation ships adapters for.
 enum class CipherKind {
   kAes128,     ///< AES-128, 256-byte S-box table, 16-byte blocks/keys.
   kPresent80,  ///< PRESENT-80, 16-byte table (low nibbles live), 8-byte blocks.
@@ -27,6 +28,8 @@ enum class CipherKind {
 
 const char* to_string(CipherKind kind) noexcept;
 
+/// The cipher-agnostic interface described in the file comment. Adapters
+/// are stateless; get one from cipher_for().
 class TableCipher {
  public:
   virtual ~TableCipher() = default;
