@@ -1,5 +1,7 @@
 #include "attack/campaign.hpp"
 
+#include <algorithm>
+
 #include "kernel/noise.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
@@ -29,7 +31,7 @@ ExplFrameCampaign::ExplFrameCampaign(kernel::System& system,
       "max-likelihood PFA is AES-only");
 }
 
-CampaignReport ExplFrameCampaign::run() {
+CampaignReport ExplFrameCampaign::run() const {
   const crypto::TableCipher& cipher = crypto::cipher_for(config_.cipher);
   CampaignReport report;
   report.cipher = config_.cipher;
@@ -44,24 +46,29 @@ CampaignReport ExplFrameCampaign::run() {
   const std::uint64_t noise_seed = seeds.next();
   const std::uint64_t plaintext_seed = seeds.next();
 
-  config_.templating.seed = templating_seed;
-  if (config_.victim.key.empty())
-    config_.victim.key = crypto::random_key(cipher, victim_key_seed);
-  report.victim_key = config_.victim.key;
+  // Derived values stay in locals: run() must not mutate config_, so the
+  // object remains re-runnable and config() keeps reporting what the caller
+  // actually configured.
+  TemplateConfig templating_cfg = config_.templating;
+  templating_cfg.seed = templating_seed;
+  VictimConfig victim_cfg = config_.victim;
+  if (victim_cfg.key.empty())
+    victim_cfg.key = crypto::random_key(cipher, victim_key_seed);
+  report.victim_key = victim_cfg.key;
 
   // ---------------------------------------------------------------- setup
   kernel::Task& attacker = system_->spawn("attacker", config_.cpu);
 
   // The victim service is already running (it is a long-lived daemon); it
   // has not yet allocated the crypto context.
-  VictimCipherService victim(*system_, config_.cpu, cipher, config_.victim);
+  VictimCipherService victim(*system_, config_.cpu, cipher, victim_cfg);
   victim.start();
 
   // ------------------------------------------------------------ 1 TEMPLATE
-  Templater templater(*system_, attacker, config_.templating);
+  Templater templater(*system_, attacker, templating_cfg);
   templater.allocate_buffer();
 
-  const std::uint32_t table_off = config_.victim.sbox_offset;
+  const std::uint32_t table_off = victim_cfg.sbox_offset;
   const std::size_t table_size = cipher.table_size();
   const auto usable = [&](const FlipRecord& f) {
     if (f.offset < table_off || f.offset >= table_off + table_size)
@@ -88,8 +95,8 @@ CampaignReport ExplFrameCampaign::run() {
   const fault::FaultModel fault_model =
       fault::fault_model_for(cipher, report.table_index, report.chosen.bit);
   report.fault_mask = fault_model.mask;
-  EXPLFRAME_LOG_INFO("template: flip at page offset 0x", std::hex,
-                     report.chosen.offset, std::dec, " bit ",
+  EXPLFRAME_LOG_INFO("template: flip at page offset ",
+                     log_hex(report.chosen.offset), " bit ",
                      int(report.chosen.bit), " -> ", cipher.name(),
                      " table index ", report.table_index);
 
@@ -156,18 +163,50 @@ CampaignReport ExplFrameCampaign::run() {
   std::uint32_t check_interval = config_.analysis_check_interval;
   if (check_interval == 0) check_interval = table_size >= 256 ? 256 : 25;
 
-  for (std::uint32_t i = 0; i < config_.ciphertext_budget; ++i) {
-    rng.fill_bytes(pt);
-    victim.encrypt(pt, ct);
-    analysis->add_ciphertext(ct);
-    // Periodically test whether the key is already pinned down.
-    if ((i + 1) % check_interval == 0 || i + 1 == config_.ciphertext_budget) {
+  if (config_.batched_harvest) {
+    // Chunked fill/encrypt/absorb with the same check cadence as the
+    // per-call loop below: chunks end exactly at the check_interval
+    // multiples (and at the budget), the plaintext RNG stream is identical
+    // (block sizes are multiples of fill_bytes' 8-byte words, so one flat
+    // fill equals that many per-block fills), and the key checks fire at
+    // the same ciphertext counts — so reports are byte-identical.
+    const std::uint32_t chunk_cap =
+        std::min(check_interval, config_.ciphertext_budget);
+    std::vector<std::uint8_t> pts(static_cast<std::size_t>(chunk_cap) * block);
+    std::vector<std::uint8_t> cts(static_cast<std::size_t>(chunk_cap) * block);
+    std::uint32_t done = 0;
+    while (done < config_.ciphertext_budget) {
+      const std::uint32_t n =
+          std::min(check_interval, config_.ciphertext_budget - done);
+      const std::span<std::uint8_t> pt_span(pts.data(), n * block);
+      const std::span<std::uint8_t> ct_span(cts.data(), n * block);
+      rng.fill_bytes(pt_span);
+      victim.encrypt_batch(pt_span, ct_span);
+      analysis->add_ciphertext_batch(ct_span, block);
+      done += n;
       if (auto key = analysis->recover_key()) {
         report.key_recovered = true;
         report.recovered_key = std::move(*key);
         report.residual_search = analysis->residual_search();
-        report.ciphertexts_used = i + 1;
+        report.ciphertexts_used = done;
         break;
+      }
+    }
+  } else {
+    for (std::uint32_t i = 0; i < config_.ciphertext_budget; ++i) {
+      rng.fill_bytes(pt);
+      victim.encrypt(pt, ct);
+      analysis->add_ciphertext(ct);
+      // Periodically test whether the key is already pinned down.
+      if ((i + 1) % check_interval == 0 ||
+          i + 1 == config_.ciphertext_budget) {
+        if (auto key = analysis->recover_key()) {
+          report.key_recovered = true;
+          report.recovered_key = std::move(*key);
+          report.residual_search = analysis->residual_search();
+          report.ciphertexts_used = i + 1;
+          break;
+        }
       }
     }
   }

@@ -49,6 +49,11 @@ struct CampaignConfig {
   /// Harvested ciphertexts between key-recovery attempts (0 = a cadence
   /// matched to the cipher's table alphabet: 256 for AES, 25 for PRESENT).
   std::uint32_t analysis_check_interval = 0;
+  /// Harvest through the batched fast path (snapshot-validated
+  /// VictimCipherService::encrypt_batch + Analysis::add_ciphertext_batch,
+  /// chunked at the check cadence). Byte-identical reports either way —
+  /// false exists only as the differential-testing escape hatch.
+  bool batched_harvest = true;
   /// Background noise operations between plant and victim allocation
   /// (models other activity racing for the planted frame). CPU of the
   /// noise task and whether it shares the attack CPU are configurable.
@@ -105,13 +110,16 @@ struct CampaignReport {
   std::string failure_stage() const;
 };
 
-/// Drives the six-phase pipeline above over one kernel::System. One
-/// instance per trial; run() is single-shot.
+/// Drives the six-phase pipeline above over one kernel::System. run() never
+/// mutates the stored config (derived seeds and the seed-derived victim key
+/// live in locals), so a campaign object is re-runnable — though each run()
+/// attacks the same System, whose state the previous run already changed;
+/// for bit-identical repeats, rebuild the System too.
 class ExplFrameCampaign {
  public:
   ExplFrameCampaign(kernel::System& system, const CampaignConfig& config);
 
-  CampaignReport run();
+  CampaignReport run() const;
 
   const CampaignConfig& config() const noexcept { return config_; }
 

@@ -91,4 +91,32 @@ std::vector<std::uint8_t> VictimCipherService::encrypt(
   return ct;
 }
 
+void VictimCipherService::encrypt_batch(
+    std::span<const std::uint8_t> plaintexts,
+    std::span<std::uint8_t> ciphertexts) {
+  EXPLFRAME_CHECK_MSG(table_va_ != 0, "install_tables() first");
+  const std::size_t block = cipher_->block_size();
+  EXPLFRAME_CHECK(plaintexts.size() == ciphertexts.size());
+  EXPLFRAME_CHECK(plaintexts.size() % block == 0);
+  // Per-call encrypt() re-reads table + round keys before every block; the
+  // memory epoch certifies that those reads would all return the same bytes
+  // while it is unchanged, so one snapshot pair of mem_reads per epoch is
+  // observationally identical. Nothing inside the batch mutates simulated
+  // memory (reads do not advance the device clock, and the victim's pages
+  // are already faulted in), so one check per batch suffices.
+  if (!batch_ctx_ || batch_epoch_ != system_->memory_epoch()) {
+    EXPLFRAME_CHECK(system_->mem_read(
+        *task_, table_va_ + config_.sbox_offset,
+        {table_scratch_.data(), table_scratch_.size()}));
+    EXPLFRAME_CHECK(system_->mem_read(
+        *task_, keys_va_, {rk_scratch_.data(), rk_scratch_.size()}));
+    batch_ctx_ = cipher_->make_context(rk_scratch_, table_scratch_);
+    // Read the epoch after the snapshot: a demand fault during the reads
+    // (possible if the pages were reclaimed) would bump it.
+    batch_epoch_ = system_->memory_epoch();
+  }
+  cipher_->encrypt_batch(*batch_ctx_, plaintexts, ciphertexts);
+  encryptions_ += plaintexts.size() / block;
+}
+
 }  // namespace explframe::attack

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -61,6 +62,21 @@ class VictimCipherService {
                std::span<std::uint8_t> ciphertext);
   std::vector<std::uint8_t> encrypt(std::span<const std::uint8_t> plaintext);
 
+  /// Batched harvest fast path: encrypt plaintexts.size() / block_size()
+  /// concatenated blocks, byte-identical to that many encrypt() calls.
+  /// The table + round keys are snapshotted through ONE pair of mem_reads
+  /// and decoded into a cached crypto::EncryptContext; the cache is
+  /// revalidated against kernel::System::memory_epoch(), so any mutation of
+  /// simulated memory between batches (a hammer flip, a defence
+  /// intervention, another task's write) invalidates the snapshot and the
+  /// next batch falls back to re-reading exactly like the per-call path.
+  /// Note: DRAM read-side diagnostics (e.g. the ECC corrected-bit counter)
+  /// scale with reads actually performed, so the batched path — doing one
+  /// read pair per epoch instead of per block — accrues proportionally
+  /// fewer; ciphertexts and reports are unaffected.
+  void encrypt_batch(std::span<const std::uint8_t> plaintexts,
+                     std::span<std::uint8_t> ciphertexts);
+
   std::uint64_t encryptions() const noexcept { return encryptions_; }
 
   // ---- Ground truth for the harness --------------------------------------
@@ -87,6 +103,10 @@ class VictimCipherService {
   // Reload scratch (sized once per cipher) so encrypt() does not allocate.
   std::vector<std::uint8_t> table_scratch_;
   std::vector<std::uint8_t> rk_scratch_;
+  // Batched-path snapshot cache: decoded (round keys, table) plus the
+  // memory epoch it was read at. Invalid whenever the epoch moved.
+  std::unique_ptr<crypto::EncryptContext> batch_ctx_;
+  std::uint64_t batch_epoch_ = 0;
 };
 
 }  // namespace explframe::attack

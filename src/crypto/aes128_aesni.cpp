@@ -1,0 +1,132 @@
+#include "crypto/aes128_aesni.hpp"
+
+#include "support/check.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace explframe::crypto {
+
+namespace {
+
+// Every function touching intrinsics carries the target attribute so the
+// translation unit builds without global -maes/-mssse3 flags; dispatch is
+// guarded by available() at runtime.
+#define EXPLFRAME_AESNI __attribute__((target("aes,ssse3")))
+
+/// AES ShiftRows as a byte shuffle (state in standard column-major order).
+EXPLFRAME_AESNI inline __m128i shift_rows(__m128i v) noexcept {
+  const __m128i ctl =
+      _mm_setr_epi8(0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11);
+  return _mm_shuffle_epi8(v, ctl);
+}
+
+/// MixColumns of a full state vector: out = xt(d) ^ rot1(xt(d) ^ d) ^
+/// rot2(d) ^ rot3(d), where xt is per-byte GF(2^8) doubling and rotN
+/// rotates bytes within each 4-byte column.
+EXPLFRAME_AESNI inline __m128i mix_columns(__m128i d) noexcept {
+  const __m128i rot1 =
+      _mm_setr_epi8(1, 2, 3, 0, 5, 6, 7, 4, 9, 10, 11, 8, 13, 14, 15, 12);
+  const __m128i rot2 =
+      _mm_setr_epi8(2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13);
+  const __m128i rot3 =
+      _mm_setr_epi8(3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, 12, 13, 14);
+  const __m128i hi = _mm_set1_epi8(static_cast<char>(0x80));
+  const __m128i red =
+      _mm_and_si128(_mm_cmpeq_epi8(_mm_and_si128(d, hi), hi),
+                    _mm_set1_epi8(0x1b));
+  const __m128i xt = _mm_xor_si128(_mm_add_epi8(d, d), red);
+  __m128i out =
+      _mm_xor_si128(xt, _mm_shuffle_epi8(_mm_xor_si128(xt, d), rot1));
+  out = _mm_xor_si128(out, _mm_shuffle_epi8(d, rot2));
+  return _mm_xor_si128(out, _mm_shuffle_epi8(d, rot3));
+}
+
+/// SubBytes-output fault delta for the round whose SubBytes *input* is `s`:
+/// m at every byte position equal to x0, 0 elsewhere.
+EXPLFRAME_AESNI inline __m128i fault_delta(__m128i s, __m128i vx0,
+                                           __m128i vm) noexcept {
+  return _mm_and_si128(_mm_cmpeq_epi8(s, vx0), vm);
+}
+
+/// W blocks in flight: aesenc latency hides behind the other lanes, so the
+/// loop runs at near ISA throughput instead of the one-block latency chain.
+template <int W>
+EXPLFRAME_AESNI inline void encrypt_w(const std::uint8_t* in,
+                                      std::uint8_t* out, const __m128i* k,
+                                      __m128i vx0, __m128i vm,
+                                      bool faulty) noexcept {
+  __m128i s[W];
+  for (int b = 0; b < W; ++b)
+    s[b] = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * b)), k[0]);
+  for (int r = 1; r <= 9; ++r) {
+    if (faulty) {
+      __m128i d[W];
+      for (int b = 0; b < W; ++b)
+        d[b] = mix_columns(shift_rows(fault_delta(s[b], vx0, vm)));
+      for (int b = 0; b < W; ++b)
+        s[b] = _mm_xor_si128(_mm_aesenc_si128(s[b], k[r]), d[b]);
+    } else {
+      for (int b = 0; b < W; ++b) s[b] = _mm_aesenc_si128(s[b], k[r]);
+    }
+  }
+  for (int b = 0; b < W; ++b) {
+    __m128i last = _mm_aesenclast_si128(s[b], k[10]);
+    if (faulty)
+      last = _mm_xor_si128(last, shift_rows(fault_delta(s[b], vx0, vm)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * b), last);
+  }
+}
+
+EXPLFRAME_AESNI void encrypt_blocks_impl(const std::uint8_t* in,
+                                         std::uint8_t* out, std::size_t n,
+                                         const Aes128::RoundKeys& rk,
+                                         std::uint8_t x0,
+                                         std::uint8_t m) noexcept {
+  __m128i k[11];
+  for (int r = 0; r < 11; ++r)
+    k[r] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk[r].data()));
+  const __m128i vx0 = _mm_set1_epi8(static_cast<char>(x0));
+  const __m128i vm = _mm_set1_epi8(static_cast<char>(m));
+  const bool faulty = m != 0;
+
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    encrypt_w<4>(in + 16 * i, out + 16 * i, k, vx0, vm, faulty);
+  for (; i < n; ++i)
+    encrypt_w<1>(in + 16 * i, out + 16 * i, k, vx0, vm, faulty);
+}
+
+#undef EXPLFRAME_AESNI
+
+}  // namespace
+
+bool Aes128Ni::available() noexcept {
+  return __builtin_cpu_supports("aes") && __builtin_cpu_supports("ssse3");
+}
+
+void Aes128Ni::encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                              std::size_t n, const Aes128::RoundKeys& rk,
+                              std::uint8_t x0, std::uint8_t m) noexcept {
+  encrypt_blocks_impl(in, out, n, rk, x0, m);
+}
+
+}  // namespace explframe::crypto
+
+#else  // non-x86: the dispatcher reports unavailable; calls are invalid.
+
+namespace explframe::crypto {
+
+bool Aes128Ni::available() noexcept { return false; }
+
+void Aes128Ni::encrypt_blocks(const std::uint8_t*, std::uint8_t*, std::size_t,
+                              const Aes128::RoundKeys&, std::uint8_t,
+                              std::uint8_t) noexcept {
+  EXPLFRAME_CHECK_MSG(false, "Aes128Ni unavailable on this target");
+}
+
+}  // namespace explframe::crypto
+
+#endif

@@ -1,0 +1,42 @@
+// Hardware AES-128 (AES-NI) with a persistent S-box-fault correction — the
+// batched harvest's fastest AES path.
+//
+// AES-NI bakes the canonical S-box into silicon, so it cannot evaluate an
+// arbitrary faulty table. But the paper's fault model is exactly one stored
+// S-box byte XORed with a mask: S*(x0) = S(x0) ^ m. A SubBytes-output
+// difference is linear through ShiftRows and MixColumns, so each round can
+// run as a plain `aesenc` plus an XORed correction delta — compare the
+// round's SubBytes *input* bytes against x0, place m at the matching
+// positions, push that sparse vector through ShiftRows/MixColumns in SIMD,
+// and XOR it into the aesenc result. Byte-identical to
+// Aes128::encrypt_with_sbox over the faulted table (differentially tested),
+// at hardware-AES speed.
+//
+// m == 0 degenerates to canonical AES-NI. Tables differing from the
+// canonical S-box in more than one byte are out of this model — callers
+// (crypto::TableCipher's AES context) fall back to the T-table path then.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/aes128.hpp"
+
+namespace explframe::crypto {
+
+class Aes128Ni {
+ public:
+  /// True when the CPU supports the required ISA (AES-NI + SSSE3); the
+  /// dispatch is runtime, so the build needs no -maes flag.
+  static bool available() noexcept;
+
+  /// Encrypt `n` consecutive 16-byte blocks under the single-byte fault
+  /// model table[x0] = S[x0] ^ m (m == 0 → canonical AES). Byte-identical
+  /// to per-block Aes128::encrypt_with_sbox over that table. Only call
+  /// when available().
+  static void encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                             std::size_t n, const Aes128::RoundKeys& rk,
+                             std::uint8_t x0, std::uint8_t m) noexcept;
+};
+
+}  // namespace explframe::crypto

@@ -100,6 +100,35 @@ std::uint64_t Present80::encrypt(Block plaintext,
   return encrypt_with_sbox(plaintext, rk, kSbox);
 }
 
+Present80::SpTables Present80::derive_sp_tables(
+    std::span<const std::uint8_t, 16> table) noexcept {
+  SpTables sp{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t b = 0; b < 256; ++b) {
+      // Substitute both nibbles of the byte exactly as sbox_layer does
+      // (stored entries are masked on use), then permute its 8 bits.
+      const std::uint64_t sub =
+          static_cast<std::uint64_t>(table[b & 0xF] & 0xF) |
+          (static_cast<std::uint64_t>(table[(b >> 4) & 0xF] & 0xF) << 4);
+      sp[i][b] = p_layer(sub << (8 * i));
+    }
+  }
+  return sp;
+}
+
+std::uint64_t Present80::encrypt_with_sp(Block plaintext, const RoundKeys& rk,
+                                         const SpTables& sp) noexcept {
+  std::uint64_t state = plaintext;
+  for (std::size_t round = 0; round < 31; ++round) {
+    state ^= rk[round];
+    std::uint64_t next = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+      next ^= sp[i][(state >> (8 * i)) & 0xFF];
+    state = next;
+  }
+  return state ^ rk[31];
+}
+
 std::uint64_t Present80::decrypt(Block ciphertext,
                                  const RoundKeys& rk) noexcept {
   std::uint64_t state = ciphertext ^ rk[31];

@@ -34,6 +34,21 @@ class Present80 {
       Block plaintext, const RoundKeys& rk,
       std::span<const std::uint8_t, 16> table) noexcept;
 
+  /// Combined sBoxLayer+pLayer lookup tables: SP[i][b] is the pLayer image
+  /// of byte value b substituted through `table` at byte position i, so one
+  /// round becomes eight table XORs instead of sixteen nibble substitutions
+  /// plus a 64-step bit permutation. Exact by linearity of pLayer over
+  /// disjoint bit sets — encrypt_with_sp is byte-identical to
+  /// encrypt_with_sbox over the same table (differentially tested). Derived
+  /// once per harvest snapshot by the batched EncryptContext.
+  using SpTables = std::array<std::array<std::uint64_t, 256>, 8>;
+  static SpTables derive_sp_tables(
+      std::span<const std::uint8_t, 16> table) noexcept;
+
+  /// encrypt_with_sbox through precomputed SP tables (same table).
+  static Block encrypt_with_sp(Block plaintext, const RoundKeys& rk,
+                               const SpTables& sp) noexcept;
+
   /// Bit permutation pLayer and its inverse (exposed for the PFA attack,
   /// which needs P^-1 to make nibble positions independent).
   static std::uint64_t p_layer(std::uint64_t s) noexcept;

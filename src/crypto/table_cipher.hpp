@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -27,6 +28,28 @@ enum class CipherKind {
 };
 
 const char* to_string(CipherKind kind) noexcept;
+
+/// Opaque decoded encryption state for one (round keys, stored table)
+/// snapshot: round keys unpacked from their serialized byte blob once, the
+/// table decoded into the cipher's native lookup form once (AES additionally
+/// derives its T-tables; PRESENT extracts the live nibbles). Built by
+/// TableCipher::make_context and consumed by encrypt_batch, which would
+/// otherwise redo that decode for every block of a harvest. Contexts are
+/// immutable and cipher-specific; a context is only valid with the cipher
+/// that created it.
+class EncryptContext {
+ public:
+  virtual ~EncryptContext() = default;
+
+  /// The cipher this context was decoded for (guards mismatched use).
+  CipherKind kind() const noexcept { return kind_; }
+
+ protected:
+  explicit EncryptContext(CipherKind kind) noexcept : kind_(kind) {}
+
+ private:
+  CipherKind kind_;
+};
 
 /// The cipher-agnostic interface described in the file comment. Adapters
 /// are stateless; get one from cipher_for().
@@ -72,9 +95,29 @@ class TableCipher {
                        std::span<const std::uint8_t> round_keys,
                        std::span<const std::uint8_t> table,
                        std::span<std::uint8_t> ciphertext) const = 0;
+
+  // ---- Batched harvest fast path ------------------------------------------
+  /// Decode (round_keys, table) — both in the stored byte layout encrypt()
+  /// consumes — into a reusable EncryptContext. The context encrypts
+  /// bit-identically to encrypt() over the same inputs; callers own cache
+  /// invalidation (the victim service revalidates against the memory
+  /// mutation epoch).
+  virtual std::unique_ptr<EncryptContext> make_context(
+      std::span<const std::uint8_t> round_keys,
+      std::span<const std::uint8_t> table) const = 0;
+
+  /// Encrypt plaintexts.size() / block_size() concatenated blocks through
+  /// `ctx` in one virtual dispatch. Ciphertext stream is byte-identical to
+  /// block_size()-sized encrypt() calls with the snapshot `ctx` was built
+  /// from. `ctx` must come from this cipher's make_context.
+  virtual void encrypt_batch(const EncryptContext& ctx,
+                             std::span<const std::uint8_t> plaintexts,
+                             std::span<std::uint8_t> ciphertexts) const = 0;
 };
 
 /// Stateless singleton adapter for `kind` (valid for the program lifetime).
+/// CHECK-fails on an out-of-range enum value (e.g. a corrupted config cast
+/// straight into CipherKind) instead of silently handing back AES.
 const TableCipher& cipher_for(CipherKind kind) noexcept;
 
 /// A uniformly random key for `cipher`, as the victim config stores it.

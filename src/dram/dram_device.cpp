@@ -143,6 +143,7 @@ void DramDevice::read(PhysAddr addr, std::span<std::uint8_t> out) {
 
 void DramDevice::write(PhysAddr addr, std::span<const std::uint8_t> in) {
   EXPLFRAME_CHECK(addr + in.size() <= geometry_.total_bytes());
+  ++mutation_epoch_;
   std::size_t done = 0;
   while (done < in.size()) {
     const DramAddress c = mapping_.decode(addr + done);
@@ -167,6 +168,7 @@ void DramDevice::write_byte(PhysAddr addr, std::uint8_t value) {
 
 void DramDevice::fill(PhysAddr addr, std::uint8_t value, std::uint64_t len) {
   EXPLFRAME_CHECK(addr + len <= geometry_.total_bytes());
+  ++mutation_epoch_;
   std::uint64_t done = 0;
   while (done < len) {
     const DramAddress c = mapping_.decode(addr + done);
@@ -229,6 +231,7 @@ void DramDevice::check_victim_row(std::uint64_t victim_flat,
     flips_.push_back(ev);
     live_flips_[victim_flat].push_back({cell.col, cell.bit});
     ++total_flips_;
+    ++mutation_epoch_;
   }
 }
 
@@ -501,6 +504,7 @@ void DramDevice::inject_flip(PhysAddr addr, std::uint8_t bit) {
   flips_.push_back(ev);
   live_flips_[fr].push_back({c.col, bit});
   ++total_flips_;
+  ++mutation_epoch_;
 }
 
 std::vector<FlipEvent> DramDevice::drain_flips() {

@@ -119,6 +119,14 @@ class DramDevice {
 
   SimTime now() const noexcept { return now_; }
 
+  /// Memory-mutation epoch: increments whenever stored bytes (or the ECC
+  /// bookkeeping that shapes what read() returns) may have changed — every
+  /// write/fill, every disturbance flip, every injected flip. Two read()s of
+  /// the same range bracketed by an unchanged epoch return identical bytes,
+  /// which is the invalidation contract the victim service's batched
+  /// encrypt snapshot cache is built on.
+  std::uint64_t mutation_epoch() const noexcept { return mutation_epoch_; }
+
   // ---- Flip log / statistics -------------------------------------------
   /// All flips since the last drain (in occurrence order).
   std::vector<FlipEvent> drain_flips();
@@ -182,6 +190,7 @@ class DramDevice {
 
   SimTime now_ = 0;
   SimTime next_refresh_ = 0;
+  std::uint64_t mutation_epoch_ = 0;
   std::uint64_t total_flips_ = 0;
   std::uint64_t total_acts_ = 0;
   std::uint64_t refreshes_ = 0;

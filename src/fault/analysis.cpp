@@ -44,6 +44,13 @@ bool Analysis::add_pair(std::span<const std::uint8_t> /*correct*/,
   return false;
 }
 
+void Analysis::add_ciphertext_batch(std::span<const std::uint8_t> ciphertexts,
+                                    std::size_t block_size) {
+  EXPLFRAME_CHECK(block_size > 0 && ciphertexts.size() % block_size == 0);
+  for (std::size_t off = 0; off < ciphertexts.size(); off += block_size)
+    add_ciphertext(ciphertexts.subspan(off, block_size));
+}
+
 namespace {
 
 crypto::Aes128::Block to_aes_block(std::span<const std::uint8_t> bytes) {
@@ -72,6 +79,11 @@ class AesPfaAnalysis final : public Analysis {
 
   void add_ciphertext(std::span<const std::uint8_t> ct) override {
     pfa_.add_ciphertext(to_aes_block(ct));
+  }
+  void add_ciphertext_batch(std::span<const std::uint8_t> cts,
+                            std::size_t block_size) override {
+    EXPLFRAME_CHECK(block_size == 16 && cts.size() % 16 == 0);
+    pfa_.add_ciphertext_batch(cts);
   }
   std::size_t ciphertext_count() const noexcept override {
     return pfa_.ciphertext_count();
@@ -118,6 +130,11 @@ class PresentPfaAnalysis final : public Analysis {
 
   void add_ciphertext(std::span<const std::uint8_t> ct) override {
     pfa_.add_ciphertext(to_present_block(ct));
+  }
+  void add_ciphertext_batch(std::span<const std::uint8_t> cts,
+                            std::size_t block_size) override {
+    EXPLFRAME_CHECK(block_size == 8 && cts.size() % 8 == 0);
+    pfa_.add_ciphertext_batch(cts);
   }
   std::size_t ciphertext_count() const noexcept override {
     return pfa_.ciphertext_count();

@@ -64,6 +64,12 @@ class Analysis {
   /// Feed one faulty ciphertext (block_size() bytes). Invalid on
   /// wants_pairs() engines.
   virtual void add_ciphertext(std::span<const std::uint8_t> ciphertext) = 0;
+  /// Feed ciphertexts.size() / block_size concatenated faulty ciphertexts
+  /// in one call — the batched harvest loop's entry point. Equivalent to
+  /// that many add_ciphertext() calls (the default does exactly that; PFA
+  /// engines forward to their batched absorbers).
+  virtual void add_ciphertext_batch(std::span<const std::uint8_t> ciphertexts,
+                                    std::size_t block_size);
   /// Feed one (correct, faulty) pair. Returns false if the pair is
   /// inconsistent with the engine's fault model. Default: unsupported.
   virtual bool add_pair(std::span<const std::uint8_t> correct,

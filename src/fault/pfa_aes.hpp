@@ -17,6 +17,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "crypto/aes128.hpp"
@@ -38,21 +39,30 @@ class AesPfa {
   using Block = crypto::Aes128::Block;
   using RoundKey = crypto::Aes128::RoundKey;
 
+  AesPfa() noexcept { reset(); }
+
   void add_ciphertext(const Block& c) noexcept;
+  /// Absorb ciphertexts.size() / 16 concatenated blocks — the harvest
+  /// loop's batched entry point (one call per chunk instead of per block).
+  void add_ciphertext_batch(std::span<const std::uint8_t> ciphertexts) noexcept;
   std::size_t ciphertext_count() const noexcept { return count_; }
   void reset() noexcept;
 
   /// Candidate K10 bytes for each position. `v` is the vanished S-box
   /// output value; `v_new` its replacement (used by kMaxLikelihood).
+  /// (Diagnostic full rescan; the recovery checks below read the
+  /// incremental tallies instead.)
   std::array<std::vector<std::uint8_t>, 16> candidates(
       PfaStrategy strategy, std::uint8_t v, std::uint8_t v_new) const;
 
   /// log2 of the number of consistent K10 values (0 when unique;
-  /// +inf-like 128.0 when some byte has no candidate yet).
+  /// +inf-like 128.0 when some byte has no candidate yet). O(16) from the
+  /// incremental zero/max tallies — not a rescan.
   double remaining_keyspace_log2(PfaStrategy strategy, std::uint8_t v,
                                  std::uint8_t v_new) const;
 
-  /// The unique K10 if every byte has exactly one candidate.
+  /// The unique K10 if every byte has exactly one candidate. O(16) from the
+  /// incremental tallies (amortized O(1) per harvested ciphertext).
   std::optional<RoundKey> recover_round10(PfaStrategy strategy, std::uint8_t v,
                                           std::uint8_t v_new) const;
 
@@ -66,8 +76,22 @@ class AesPfa {
   }
 
  private:
+  void absorb(const std::uint8_t* c) noexcept;
+
   std::array<std::array<std::uint32_t, 256>, 16> freq_{};
   std::size_t count_ = 0;
+  // Incremental tallies, maintained per absorbed byte so the periodic key
+  // checks never rescan the 16x256 frequency table:
+  //   zero_count_[j]  — #values never seen at byte j (missing-value cands);
+  //   zero_sum_[j]    — sum of those values (identifies THE zero when 1);
+  //   max_count_[j]   — highest frequency at byte j;
+  //   num_at_max_[j]  — #values tied at max (max-likelihood cands);
+  //   argmax_[j]      — a value at max (unique iff num_at_max_[j] == 1).
+  std::array<std::uint32_t, 16> zero_count_{};
+  std::array<std::uint32_t, 16> zero_sum_{};
+  std::array<std::uint32_t, 16> max_count_{};
+  std::array<std::uint32_t, 16> num_at_max_{};
+  std::array<std::uint8_t, 16> argmax_{};
 };
 
 }  // namespace explframe::fault

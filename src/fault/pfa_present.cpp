@@ -2,20 +2,37 @@
 
 #include <cmath>
 
+#include "support/bytes.hpp"
+#include "support/check.hpp"
+
 namespace explframe::fault {
 
 using crypto::Present80;
 
 void PresentPfa::add_ciphertext(std::uint64_t c) noexcept {
   const std::uint64_t d = Present80::p_layer_inv(c);
-  for (std::size_t j = 0; j < 16; ++j)
-    ++freq_[j][(d >> (4 * j)) & 0xF];
+  for (std::size_t j = 0; j < 16; ++j) {
+    const auto nib = static_cast<std::uint8_t>((d >> (4 * j)) & 0xF);
+    if (++freq_[j][nib] == 1) {
+      --zero_count_[j];
+      zero_sum_[j] -= nib;
+    }
+  }
   ++count_;
+}
+
+void PresentPfa::add_ciphertext_batch(
+    std::span<const std::uint8_t> ciphertexts) noexcept {
+  EXPLFRAME_CHECK(ciphertexts.size() % 8 == 0);
+  for (std::size_t off = 0; off < ciphertexts.size(); off += 8)
+    add_ciphertext(le_bytes_to_u64(ciphertexts.subspan(off, 8)));
 }
 
 void PresentPfa::reset() noexcept {
   for (auto& f : freq_) f.fill(0);
   count_ = 0;
+  zero_count_.fill(16);
+  zero_sum_.fill(15 * 16 / 2);
 }
 
 std::array<std::vector<std::uint8_t>, 16> PresentPfa::candidates(
@@ -29,22 +46,23 @@ std::array<std::vector<std::uint8_t>, 16> PresentPfa::candidates(
   return out;
 }
 
-double PresentPfa::remaining_keyspace_log2(std::uint8_t v) const {
-  const auto cand = candidates(v);
+double PresentPfa::remaining_keyspace_log2(std::uint8_t /*v*/) const {
+  // Candidate-set sizes come straight off the incremental zero tallies (the
+  // XOR with v permutes candidates without changing how many there are).
   double bits = 0.0;
-  for (const auto& c : cand) {
-    if (c.empty()) return 64.0;
-    bits += std::log2(static_cast<double>(c.size()));
+  for (std::size_t j = 0; j < 16; ++j) {
+    if (zero_count_[j] == 0) return 64.0;
+    bits += std::log2(static_cast<double>(zero_count_[j]));
   }
   return bits;
 }
 
 std::optional<std::uint64_t> PresentPfa::recover_k32(std::uint8_t v) const {
-  const auto cand = candidates(v);
   std::uint64_t l = 0;
   for (std::size_t j = 0; j < 16; ++j) {
-    if (cand[j].size() != 1) return std::nullopt;
-    l |= static_cast<std::uint64_t>(cand[j][0] & 0xF) << (4 * j);
+    // Unique missing nibble: zero_sum_ then IS that nibble.
+    if (zero_count_[j] != 1) return std::nullopt;
+    l |= static_cast<std::uint64_t>((zero_sum_[j] ^ v) & 0xF) << (4 * j);
   }
   return Present80::p_layer(l);
 }

@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "crypto/present80.hpp"
@@ -23,16 +24,24 @@ namespace explframe::fault {
 
 class PresentPfa {
  public:
+  PresentPfa() noexcept { reset(); }
+
   void add_ciphertext(std::uint64_t c) noexcept;
+  /// Absorb ciphertexts.size() / 8 concatenated little-endian blocks — the
+  /// harvest loop's batched entry point.
+  void add_ciphertext_batch(std::span<const std::uint8_t> ciphertexts) noexcept;
   std::size_t ciphertext_count() const noexcept { return count_; }
   void reset() noexcept;
 
-  /// Candidate values for each nibble of L = P^-1(K32).
+  /// Candidate values for each nibble of L = P^-1(K32). (Diagnostic full
+  /// rescan; the recovery checks below read the incremental tallies.)
   std::array<std::vector<std::uint8_t>, 16> candidates(std::uint8_t v) const;
 
+  /// O(16) from the incremental zero tallies — not a rescan.
   double remaining_keyspace_log2(std::uint8_t v) const;
 
-  /// The unique last-round key K32 if every nibble is pinned.
+  /// The unique last-round key K32 if every nibble is pinned. O(16) from
+  /// the incremental tallies (amortized O(1) per harvested ciphertext).
   std::optional<std::uint64_t> recover_k32(std::uint8_t v) const;
 
   /// Recover the full 80-bit master key: K32 from PFA plus a 2^16 search
@@ -52,6 +61,10 @@ class PresentPfa {
  private:
   std::array<std::array<std::uint32_t, 16>, 16> freq_{};
   std::size_t count_ = 0;
+  // Incremental tallies (see AesPfa): #nibble values never seen at position
+  // j, and their sum (identifying THE missing value once unique).
+  std::array<std::uint32_t, 16> zero_count_{};
+  std::array<std::uint32_t, 16> zero_sum_{};
 };
 
 }  // namespace explframe::fault

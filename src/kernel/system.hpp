@@ -97,6 +97,15 @@ class System {
   SimTime now() const noexcept { return dram_->now(); }
   void idle(SimTime duration) { dram_->idle(duration); }
 
+  /// Memory-mutation epoch of the backing DRAM: changes whenever any stored
+  /// byte (or ECC bookkeeping shaping reads) may have changed — hammer
+  /// flips, defence interventions, any task's writes, demand-fault zeroing.
+  /// Snapshot caches (VictimCipherService::encrypt_batch) revalidate
+  /// against it.
+  std::uint64_t memory_epoch() const noexcept {
+    return dram_->mutation_epoch();
+  }
+
  private:
   bool handle_fault(Task& task, vm::VirtAddr page_va);
   mm::Pfn alloc_user_frame(Task& task);

@@ -1,10 +1,20 @@
 // Minimal leveled logger. Default level is Warn so library internals stay
 // quiet under tests/benches; examples raise it to Info/Debug to narrate the
 // attack timeline.
+//
+// Messages are formatted by direct string append (std::to_chars for
+// numbers) instead of a std::ostringstream — no locale machinery, no
+// stream-state flags, and nothing at all happens below the active level
+// beyond the level compare. Hex output goes through log_hex(v) rather than
+// a std::hex manipulator.
 #pragma once
 
-#include <sstream>
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
 #include <string>
+#include <string_view>
+#include <type_traits>
 
 namespace explframe {
 
@@ -15,14 +25,60 @@ void set_log_level(LogLevel level) noexcept;
 void log_message(LogLevel level, const std::string& msg);
 
 namespace detail {
+
+/// A value to be rendered in lowercase hex (no leading "0x"; callers write
+/// the prefix literal so the digits stay aligned with the old output).
+struct LogHex {
+  std::uint64_t value;
+};
+
+inline void log_append(std::string& out, std::string_view v) { out += v; }
+inline void log_append(std::string& out, const char* v) { out += v; }
+inline void log_append(std::string& out, char v) { out += v; }
+inline void log_append(std::string& out, bool v) {
+  out += v ? "true" : "false";
+}
+
+inline void log_append(std::string& out, LogHex v) {
+  char buf[16];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v.value, 16);
+  out.append(buf, res.ptr);
+}
+
+template <typename T>
+  requires std::is_integral_v<T>
+void log_append(std::string& out, T v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+template <typename T>
+  requires std::is_floating_point_v<T>
+void log_append(std::string& out, T v) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%g", static_cast<double>(v));
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
 template <typename... Ts>
 void log_fmt(LogLevel level, const Ts&... parts) {
   if (level < log_level()) return;
-  std::ostringstream os;
-  (os << ... << parts);
-  log_message(level, os.str());
+  std::string msg;
+  msg.reserve(96);
+  (log_append(msg, parts), ...);
+  log_message(level, msg);
 }
+
 }  // namespace detail
+
+/// Wrap an integer so the log macros render it as lowercase hex digits:
+/// EXPLFRAME_LOG_INFO("addr 0x", log_hex(va)).
+template <typename T>
+  requires std::is_integral_v<T>
+detail::LogHex log_hex(T v) noexcept {
+  return detail::LogHex{static_cast<std::uint64_t>(v)};
+}
 
 }  // namespace explframe
 

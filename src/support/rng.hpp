@@ -6,7 +6,9 @@
 // (code version, seed).
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <span>
 #include <vector>
@@ -141,13 +143,23 @@ class Rng {
     return c[uniform(c.size())];
   }
 
+  /// Fill with the generator's byte stream (little-endian bytes of
+  /// successive next() words — one whole-word store per 8 bytes on
+  /// little-endian targets, which is the batch plaintext generator's hot
+  /// loop). Filling N*8 bytes in one call produces the same bytes as N
+  /// 8-byte calls, so batched and per-block plaintext generation share one
+  /// stream.
   void fill_bytes(std::span<std::uint8_t> out) noexcept {
     std::size_t i = 0;
     while (i + 8 <= out.size()) {
       const std::uint64_t v = next();
-      for (int b = 0; b < 8; ++b)
-        out[i + static_cast<std::size_t>(b)] =
-            static_cast<std::uint8_t>(v >> (8 * b));
+      if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(out.data() + i, &v, 8);
+      } else {
+        for (int b = 0; b < 8; ++b)
+          out[i + static_cast<std::size_t>(b)] =
+              static_cast<std::uint8_t>(v >> (8 * b));
+      }
       i += 8;
     }
     if (i < out.size()) {

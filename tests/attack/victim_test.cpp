@@ -128,5 +128,105 @@ TEST(VictimCipherService, KeySizeValidation) {
                "key size");
 }
 
+TEST(VictimCipherService, EncryptBatchMatchesPerCallOverRandomSplits) {
+  // Two identical victims on identical systems, fed the same plaintext
+  // stream: one per-call, one batched with random chunk sizes. The
+  // ciphertext streams must be byte-identical and the encryption counter
+  // must advance the same way.
+  for (const auto kind :
+       {crypto::CipherKind::kAes128, crypto::CipherKind::kPresent80}) {
+    const crypto::TableCipher& cipher = crypto::cipher_for(kind);
+    VictimConfig vc;
+    vc.key = crypto::random_key(cipher, 123);
+    kernel::System sys_a(cfg()), sys_b(cfg());
+    VictimCipherService scalar_victim(sys_a, 0, cipher, vc);
+    VictimCipherService batch_victim(sys_b, 0, cipher, vc);
+    for (auto* v : {&scalar_victim, &batch_victim}) {
+      v->start();
+      v->install_tables();
+    }
+
+    const std::size_t block = cipher.block_size();
+    constexpr std::size_t kBlocks = 300;
+    std::vector<std::uint8_t> pts(kBlocks * block);
+    Rng rng(9);
+    rng.fill_bytes(pts);
+
+    std::vector<std::uint8_t> scalar(kBlocks * block);
+    for (std::size_t i = 0; i < kBlocks; ++i)
+      scalar_victim.encrypt({pts.data() + i * block, block},
+                            {scalar.data() + i * block, block});
+
+    std::vector<std::uint8_t> batched(kBlocks * block);
+    Rng split_rng(10);
+    std::size_t off = 0;
+    while (off < kBlocks) {
+      const std::size_t n =
+          std::min<std::size_t>(1 + split_rng.uniform(40), kBlocks - off);
+      batch_victim.encrypt_batch({pts.data() + off * block, n * block},
+                                 {batched.data() + off * block, n * block});
+      off += n;
+    }
+
+    EXPECT_EQ(scalar, batched) << crypto::to_string(kind);
+    EXPECT_EQ(batch_victim.encryptions(), scalar_victim.encryptions());
+  }
+}
+
+TEST(VictimCipherService, EpochInvalidationMidHarvestRefreshesSnapshot) {
+  // Corrupt the stored table between chunks (as the re-hammer or a noise
+  // task's write would). The batched path must notice through the memory
+  // epoch, drop its snapshot, and keep emitting exactly the per-call
+  // stream — before AND after the corruption.
+  const crypto::TableCipher& cipher = aes_cipher();
+  VictimConfig vc = victim_cfg();
+  kernel::System sys_a(cfg()), sys_b(cfg());
+  VictimCipherService scalar_victim(sys_a, 0, cipher, vc);
+  VictimCipherService batch_victim(sys_b, 0, cipher, vc);
+  for (auto* v : {&scalar_victim, &batch_victim}) {
+    v->start();
+    v->install_tables();
+  }
+
+  constexpr std::size_t kBlocks = 96;  // corrupt after block 48
+  std::vector<std::uint8_t> pts(kBlocks * 16);
+  Rng rng(11);
+  rng.fill_bytes(pts);
+
+  const auto corrupt = [&](kernel::System& sys, VictimCipherService& victim) {
+    const auto phys = sys.phys_of(
+        victim.task(),
+        victim.table_page_va() + victim.config().sbox_offset + 0x51);
+    sys.dram().inject_flip(phys, 3);
+  };
+
+  std::vector<std::uint8_t> scalar(kBlocks * 16);
+  for (std::size_t i = 0; i < kBlocks; ++i) {
+    if (i == 48) corrupt(sys_a, scalar_victim);
+    scalar_victim.encrypt({pts.data() + i * 16, 16},
+                          {scalar.data() + i * 16, 16});
+  }
+
+  std::vector<std::uint8_t> batched(kBlocks * 16);
+  batch_victim.encrypt_batch({pts.data(), 48 * 16}, {batched.data(), 48 * 16});
+  corrupt(sys_b, batch_victim);
+  batch_victim.encrypt_batch({pts.data() + 48 * 16, 48 * 16},
+                             {batched.data() + 48 * 16, 48 * 16});
+
+  EXPECT_TRUE(batch_victim.table_corrupted());
+  EXPECT_EQ(scalar, batched);
+  // Sanity: the corruption actually changed the stream (the second half
+  // differs from what an uncorrupted victim would emit).
+  kernel::System sys_c(cfg());
+  VictimCipherService clean(sys_c, 0, cipher, vc);
+  clean.start();
+  clean.install_tables();
+  std::vector<std::uint8_t> clean_ct(kBlocks * 16);
+  clean.encrypt_batch(pts, clean_ct);
+  EXPECT_NE(batched, clean_ct);
+  EXPECT_TRUE(std::equal(batched.begin(), batched.begin() + 48 * 16,
+                         clean_ct.begin()));
+}
+
 }  // namespace
 }  // namespace explframe::attack

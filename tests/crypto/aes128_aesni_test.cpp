@@ -1,0 +1,79 @@
+// Aes128Ni: the hardware-AES batch path with the SIMD single-byte
+// S-box-fault correction must be bit-identical to the byte-wise reference
+// (Aes128::encrypt_with_sbox) for every (key, plaintext, fault) — that is
+// the whole contract that lets the harvest ride AES-NI while the stored
+// table is faulted. Skipped (trivially passing) on CPUs without AES-NI,
+// where the dispatcher never selects this path.
+#include "crypto/aes128_aesni.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace explframe::crypto {
+namespace {
+
+std::span<const std::uint8_t, 256> as_span(
+    const std::array<std::uint8_t, 256>& t) {
+  return std::span<const std::uint8_t, 256>(t);
+}
+
+TEST(Aes128Ni, CanonicalMatchesReference) {
+  if (!Aes128Ni::available()) GTEST_SKIP() << "no AES-NI on this CPU";
+  Rng rng(41);
+  for (int i = 0; i < 50; ++i) {
+    Aes128::Key key;
+    rng.fill_bytes(key);
+    const auto rk = Aes128::expand_key(key);
+    Aes128::Block pt, ct;
+    rng.fill_bytes(pt);
+    Aes128Ni::encrypt_blocks(pt.data(), ct.data(), 1, rk, 0, 0);
+    EXPECT_EQ(ct, Aes128::encrypt(pt, rk));
+  }
+}
+
+TEST(Aes128Ni, SingleByteFaultMatchesFaultyTableReference) {
+  if (!Aes128Ni::available()) GTEST_SKIP() << "no AES-NI on this CPU";
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    Aes128::Key key;
+    rng.fill_bytes(key);
+    const auto rk = Aes128::expand_key(key);
+    const auto x0 = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto m = static_cast<std::uint8_t>(1 + rng.uniform(255));
+    auto faulty = Aes128::sbox();
+    faulty[x0] ^= m;
+    for (int i = 0; i < 8; ++i) {
+      Aes128::Block pt, ct;
+      rng.fill_bytes(pt);
+      Aes128Ni::encrypt_blocks(pt.data(), ct.data(), 1, rk, x0, m);
+      EXPECT_EQ(ct, Aes128::encrypt_with_sbox(pt, rk, as_span(faulty)))
+          << "x0=" << int(x0) << " m=" << int(m);
+    }
+  }
+}
+
+TEST(Aes128Ni, BatchSizesCoverInterleaveAndTail) {
+  // n = 1..9 exercises the 4-blocks-in-flight main loop, the scalar tail
+  // and their boundary; each block of the batch must equal a 1-block call.
+  if (!Aes128Ni::available()) GTEST_SKIP() << "no AES-NI on this CPU";
+  Rng rng(43);
+  Aes128::Key key;
+  rng.fill_bytes(key);
+  const auto rk = Aes128::expand_key(key);
+  const std::uint8_t x0 = 0x3c, m = 0x20;
+  for (std::size_t n = 1; n <= 9; ++n) {
+    std::vector<std::uint8_t> pts(16 * n), cts(16 * n), one(16 * n);
+    rng.fill_bytes(pts);
+    Aes128Ni::encrypt_blocks(pts.data(), cts.data(), n, rk, x0, m);
+    for (std::size_t i = 0; i < n; ++i)
+      Aes128Ni::encrypt_blocks(pts.data() + 16 * i, one.data() + 16 * i, 1,
+                               rk, x0, m);
+    EXPECT_EQ(cts, one) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace explframe::crypto

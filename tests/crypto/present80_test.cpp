@@ -114,5 +114,40 @@ TEST(Present80, RoundKeysDiffer) {
   EXPECT_NE(rk[30], rk[31]);
 }
 
+TEST(Present80, SpTablesMatchSboxPathOnCanonicalAndFaultyTables) {
+  // The combined sBoxLayer+pLayer tables (the batch path's round kernel)
+  // must reproduce encrypt_with_sbox bit for bit, canonical or faulted.
+  Rng rng(77);
+  for (int trial = 0; trial < 4; ++trial) {
+    auto table = Present80::sbox();
+    if (trial > 0) {
+      table[rng.uniform(16)] ^= static_cast<std::uint8_t>(1 + rng.uniform(15));
+    }
+    const std::span<const std::uint8_t, 16> tspan(table);
+    const auto sp = Present80::derive_sp_tables(tspan);
+    Key key;
+    rng.fill_bytes(key);
+    const auto rk = Present80::expand_key(key);
+    for (int i = 0; i < 64; ++i) {
+      const std::uint64_t pt = rng.next();
+      EXPECT_EQ(Present80::encrypt_with_sp(pt, rk, sp),
+                Present80::encrypt_with_sbox(pt, rk, tspan))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(Present80, SpTablesIgnoreDeadHighNibbles) {
+  // Stored table entries carry a dead high nibble; SP derivation must mask
+  // exactly like sbox_layer's on-use masking.
+  auto dirty = Present80::sbox();
+  for (auto& b : dirty) b |= 0xA0;
+  const auto sp_dirty =
+      Present80::derive_sp_tables(std::span<const std::uint8_t, 16>(dirty));
+  const auto sp_clean = Present80::derive_sp_tables(
+      std::span<const std::uint8_t, 16>(Present80::sbox()));
+  EXPECT_EQ(sp_dirty, sp_clean);
+}
+
 }  // namespace
 }  // namespace explframe::crypto

@@ -143,5 +143,64 @@ TEST(TableCipher, RandomKeyIsDeterministicPerSeed) {
   EXPECT_EQ(random_key(aes, 1).size(), aes.key_size());
 }
 
+TEST(TableCipher, InvalidKindDies) {
+  // An out-of-range enum (a corrupted config cast into CipherKind) must
+  // fail loudly, not silently hand back the AES adapter.
+  EXPECT_DEATH(cipher_for(static_cast<CipherKind>(99)), "invalid CipherKind");
+}
+
+TEST(TableCipher, EncryptBatchMatchesPerCallOverRandomSplits) {
+  // The tentpole equivalence at the crypto seam: for canonical,
+  // single-byte-faulted and multi-byte-faulted tables, encrypt_batch over a
+  // context must emit the byte stream per-block encrypt() emits — however
+  // the batch is split.
+  for (const CipherKind kind : {CipherKind::kAes128, CipherKind::kPresent80}) {
+    const TableCipher& cipher = cipher_for(kind);
+    const std::size_t block = cipher.block_size();
+    Rng rng(kind == CipherKind::kAes128 ? 21 : 22);
+    const auto key = random_key(cipher, rng.next());
+    std::vector<std::uint8_t> rk(cipher.round_key_size());
+    cipher.expand_key(key, rk);
+
+    std::vector<std::vector<std::uint8_t>> tables;
+    tables.emplace_back(cipher.canonical_table().begin(),
+                        cipher.canonical_table().end());
+    auto one_fault = tables.back();
+    one_fault[rng.uniform(cipher.table_size())] ^=
+        static_cast<std::uint8_t>(1u + rng.uniform(15));
+    tables.push_back(one_fault);
+    auto two_faults = one_fault;
+    two_faults[0] ^= 0x07;
+    two_faults[cipher.table_size() - 1] ^= 0x03;
+    tables.push_back(two_faults);
+
+    for (const auto& table : tables) {
+      constexpr std::size_t kBlocks = 64;
+      std::vector<std::uint8_t> pts(kBlocks * block);
+      rng.fill_bytes(pts);
+
+      std::vector<std::uint8_t> scalar(kBlocks * block);
+      for (std::size_t i = 0; i < kBlocks; ++i)
+        cipher.encrypt({pts.data() + i * block, block}, rk, table,
+                       {scalar.data() + i * block, block});
+
+      const auto ctx = cipher.make_context(rk, table);
+      std::vector<std::uint8_t> batched(kBlocks * block);
+      // Random split points: the context must be reusable across chunks of
+      // any size, including size-one chunks and the 4-way+tail boundary.
+      std::size_t off = 0;
+      while (off < kBlocks) {
+        const std::size_t n =
+            std::min<std::size_t>(1 + rng.uniform(9), kBlocks - off);
+        cipher.encrypt_batch(
+            *ctx, {pts.data() + off * block, n * block},
+            {batched.data() + off * block, n * block});
+        off += n;
+      }
+      EXPECT_EQ(scalar, batched) << to_string(kind);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace explframe::crypto

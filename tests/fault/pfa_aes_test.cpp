@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "fault/injection.hpp"
 #include "support/rng.hpp"
 
@@ -179,6 +182,83 @@ TEST(FaultDescribe, MentionsIndexAndMask) {
   const auto text = describe({0x42, 0x08});
   EXPECT_NE(text.find("42"), std::string::npos);
   EXPECT_NE(text.find("8"), std::string::npos);
+}
+
+TEST(AesPfa, IncrementalTalliesMatchCandidateRescan) {
+  // recover_round10/remaining_keyspace_log2 read incremental zero/max
+  // tallies; candidates() rescans the frequency table. At every prefix of
+  // the stream — including before and at the recovery point — the two
+  // views must agree for both strategies.
+  auto r = collect(0, {0x42, 0x08}, 105);
+  Rng rng(106);
+  Aes128::Key key;
+  rng.fill_bytes(key);
+  auto table = Aes128::sbox();
+  table[0x42] ^= 0x08;
+  const auto rk = Aes128::expand_key(key);
+  for (int step = 0; step < 40; ++step) {
+    for (int i = 0; i < 100; ++i) {
+      Aes128::Block pt;
+      rng.fill_bytes(pt);
+      r.pfa.add_ciphertext(Aes128::encrypt_with_sbox(
+          pt, rk, std::span<const std::uint8_t, 256>(table)));
+    }
+    for (const auto strategy :
+         {PfaStrategy::kMissingValue, PfaStrategy::kMaxLikelihood}) {
+      const auto cand = r.pfa.candidates(strategy, r.v, r.v_new);
+      double bits = 0.0;
+      bool empty = false;
+      for (const auto& c : cand) {
+        if (c.empty()) empty = true;
+        bits += c.empty() ? 0.0 : std::log2(static_cast<double>(c.size()));
+      }
+      const double expect_bits = empty ? 128.0 : bits;
+      EXPECT_DOUBLE_EQ(r.pfa.remaining_keyspace_log2(strategy, r.v, r.v_new),
+                       expect_bits);
+      const auto k10 = r.pfa.recover_round10(strategy, r.v, r.v_new);
+      bool unique = true;
+      AesPfa::RoundKey expect_key{};
+      for (std::size_t j = 0; j < 16; ++j) {
+        if (cand[j].size() != 1) {
+          unique = false;
+        } else {
+          expect_key[j] = cand[j][0];
+        }
+      }
+      EXPECT_EQ(k10.has_value(), unique);
+      if (k10 && unique) {
+        EXPECT_EQ(*k10, expect_key);
+      }
+    }
+  }
+}
+
+TEST(AesPfa, BatchAddEqualsPerCiphertextAdd) {
+  auto per = collect(512, {0x10, 0x20}, 107);
+  // Rebuild the same stream and feed it flattened through the batch entry.
+  Rng rng(107);
+  Aes128::Key key;
+  rng.fill_bytes(key);
+  auto table = Aes128::sbox();
+  table[0x10] ^= 0x20;
+  const auto rk = Aes128::expand_key(key);
+  std::vector<std::uint8_t> flat;
+  for (int i = 0; i < 512; ++i) {
+    Aes128::Block pt;
+    rng.fill_bytes(pt);
+    const auto ct = Aes128::encrypt_with_sbox(
+        pt, rk, std::span<const std::uint8_t, 256>(table));
+    flat.insert(flat.end(), ct.begin(), ct.end());
+  }
+  AesPfa batch;
+  batch.add_ciphertext_batch(flat);
+  EXPECT_EQ(batch.ciphertext_count(), per.pfa.ciphertext_count());
+  for (std::size_t j = 0; j < 16; ++j)
+    EXPECT_EQ(batch.frequencies(j), per.pfa.frequencies(j)) << "byte " << j;
+  EXPECT_EQ(batch.recover_round10(PfaStrategy::kMissingValue, per.v,
+                                  per.v_new),
+            per.pfa.recover_round10(PfaStrategy::kMissingValue, per.v,
+                                    per.v_new));
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "fault/injection.hpp"
 #include "support/rng.hpp"
 
@@ -108,6 +111,70 @@ TEST(PresentPfa, ResetClears) {
   EXPECT_EQ(pfa.ciphertext_count(), 1u);
   pfa.reset();
   EXPECT_EQ(pfa.ciphertext_count(), 0u);
+  // Reset restores the incremental tallies too: a fresh engine and a reset
+  // one must agree after absorbing the same stream.
+  PresentPfa fresh;
+  Rng rng(207);
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t c = rng.next();
+    pfa.add_ciphertext(c);
+    fresh.add_ciphertext(c);
+  }
+  EXPECT_EQ(pfa.recover_k32(0xC), fresh.recover_k32(0xC));
+  EXPECT_EQ(pfa.remaining_keyspace_log2(0xC),
+            fresh.remaining_keyspace_log2(0xC));
+}
+
+TEST(PresentPfa, IncrementalTalliesMatchCandidateRescan) {
+  Rng rng(208);
+  Present80::Key key;
+  rng.fill_bytes(key);
+  auto table = Present80::sbox();
+  const auto [v, v_new] = apply_fault(table, {0x5, 0x2});
+  (void)v_new;
+  const auto rk = Present80::expand_key(key);
+  PresentPfa pfa;
+  for (int step = 0; step < 40; ++step) {
+    for (int i = 0; i < 20; ++i)
+      pfa.add_ciphertext(Present80::encrypt_with_sbox(rng.next(), rk, table));
+    const auto cand = pfa.candidates(v);
+    double bits = 0.0;
+    bool empty = false;
+    bool unique = true;
+    for (const auto& c : cand) {
+      if (c.empty()) empty = true;
+      if (c.size() != 1) unique = false;
+      bits += c.empty() ? 0.0 : std::log2(static_cast<double>(c.size()));
+    }
+    EXPECT_DOUBLE_EQ(pfa.remaining_keyspace_log2(v), empty ? 64.0 : bits);
+    EXPECT_EQ(pfa.recover_k32(v).has_value(), unique);
+  }
+  ASSERT_TRUE(pfa.recover_k32(v).has_value());
+  EXPECT_EQ(*pfa.recover_k32(v), rk[31]);
+}
+
+TEST(PresentPfa, BatchAddEqualsPerCiphertextAdd) {
+  Rng rng(209);
+  Present80::Key key;
+  rng.fill_bytes(key);
+  auto table = Present80::sbox();
+  apply_fault(table, {0x3, 0x1});
+  const auto rk = Present80::expand_key(key);
+
+  PresentPfa per, batch;
+  std::vector<std::uint8_t> flat;
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t ct =
+        Present80::encrypt_with_sbox(rng.next(), rk, table);
+    per.add_ciphertext(ct);
+    for (int b = 0; b < 8; ++b)
+      flat.push_back(static_cast<std::uint8_t>(ct >> (8 * b)));
+  }
+  batch.add_ciphertext_batch(flat);
+  EXPECT_EQ(batch.ciphertext_count(), per.ciphertext_count());
+  const std::uint8_t v = Present80::sbox()[0x3];
+  EXPECT_EQ(batch.recover_k32(v), per.recover_k32(v));
+  EXPECT_EQ(batch.remaining_keyspace_log2(v), per.remaining_keyspace_log2(v));
 }
 
 }  // namespace
