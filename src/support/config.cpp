@@ -21,6 +21,21 @@ std::string trim(const std::string& s) {
 
 }  // namespace
 
+std::optional<std::uint64_t> parse_u64(const std::string& text) noexcept {
+  if (text.empty() || text.size() > 20) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+      return std::nullopt;
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::string trim_copy(const std::string& s) { return trim(s); }
+
 bool KvFile::valid_key(const std::string& key) noexcept {
   if (key.empty()) return false;
   for (const char c : key) {

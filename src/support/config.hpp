@@ -24,6 +24,15 @@
 
 namespace explframe {
 
+/// Strict decimal uint64 parse: digits only — no sign, blanks or trailing
+/// junk — and overflow-checked. Nullopt on anything else. The shared
+/// value parser for kv-derived text (axis ranges, checkpoint records).
+std::optional<std::uint64_t> parse_u64(const std::string& text) noexcept;
+
+/// Copy of `s` with leading/trailing whitespace removed (the same
+/// trimming KvFile applies to keys and values).
+std::string trim_copy(const std::string& s);
+
 /// An ordered key=value document. Keys are unique ([A-Za-z0-9_.-]+);
 /// values are arbitrary single-line strings (leading/trailing blanks
 /// trimmed). Insertion order is preserved and is the serialization order.

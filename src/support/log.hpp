@@ -18,10 +18,14 @@
 
 namespace explframe {
 
+/// Severity levels, ordered; kOff disables every message.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// The active level (process-global; messages below it cost one compare).
 LogLevel log_level() noexcept;
+/// Set the active level (examples raise it to narrate the attack).
 void set_log_level(LogLevel level) noexcept;
+/// Emit one already-formatted message at `level` (used by the macros).
 void log_message(LogLevel level, const std::string& msg);
 
 namespace detail {

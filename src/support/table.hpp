@@ -27,6 +27,7 @@ std::optional<TableFormat> try_parse_table_format(const std::string& name);
 TableFormat parse_table_format(const std::string& name,
                                TableFormat fallback = TableFormat::kAscii);
 
+/// Column-aligned result table; render() emits any TableFormat.
 class Table {
  public:
   explicit Table(std::vector<std::string> headers);

@@ -1,0 +1,43 @@
+// sweep::Registry — the named ablation-grid catalogue.
+//
+// The sweep-level mirror of scenario::Registry: Registry::builtin() holds
+// the paper's headline ablations as declarative SweepSpec entries, and
+// `explsim sweep` (list/describe/run/all) looks grids up here. Adding an
+// ablation is one registration; it immediately appears in `explsim sweep
+// list` and the generated docs/results/sweeps/ pages, and registration
+// CHECK-verifies that the spec expands cleanly against the builtin
+// scenario registry (a builtin sweep must be runnable).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/spec.hpp"
+
+namespace explframe::sweep {
+
+/// An ordered, name-unique collection of sweep specs.
+class Registry {
+ public:
+  /// The built-in catalogue (built once, immutable, program lifetime).
+  static const Registry& builtin();
+
+  /// Register `spec`; the name must be unique and the spec must expand
+  /// against the builtin scenario registry (CHECK-enforced).
+  void add(SweepSpec spec);
+
+  /// Sweep named `name`, or nullptr.
+  const SweepSpec* find(const std::string& name) const noexcept;
+
+  /// All sweeps, in registration order (== handbook order).
+  const std::vector<SweepSpec>& all() const noexcept { return sweeps_; }
+
+ private:
+  std::vector<SweepSpec> sweeps_;
+};
+
+/// Convenience: the built-in sweep `name`; CHECK-fails if absent (for
+/// benches whose sweep is part of their contract).
+const SweepSpec& builtin_sweep(const std::string& name);
+
+}  // namespace explframe::sweep

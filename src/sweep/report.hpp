@@ -1,0 +1,47 @@
+// sweep::report — render a finished sweep as the generated ablation pages.
+//
+// Same byte-stability contract as scenario::report: for a fixed spec the
+// CSV and markdown output is identical across runs, thread counts,
+// resume/fresh executions and machines, because it contains only
+// simulation-derived values — never wall-clock time, hostnames or dates.
+// That is what lets CI regenerate docs/results/sweeps/ with
+// `explsim sweep all --check` and fail on any byte of drift.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sweep/runner.hpp"
+
+namespace explframe::sweep {
+
+/// The long-form CSV (docs/results/sweeps/<name>.csv): one row per
+/// (point, trial) with one column per swept axis — pivot-ready for any
+/// plotting tool.
+std::string sweep_csv(const SweepResult& result);
+
+/// The per-sweep markdown page (docs/results/sweeps/<name>.md): the
+/// canonical `.sweep` configuration, the full grid table, one marginal
+/// table per axis, and (for 2-axis grids) a success-rate pivot.
+std::string sweep_markdown(const SweepResult& result);
+
+/// The sweep index (docs/results/sweeps/README.md): one summary row per
+/// sweep, in registry order.
+std::string sweeps_index(const std::vector<SweepResult>& results);
+
+/// Every generated file for `results` as (path, content) pairs, with paths
+/// under `dir` — the write/check unit used by `explsim sweep all`.
+std::vector<std::pair<std::string, std::string>> sweep_files(
+    const std::vector<SweepResult>& results, const std::string& dir);
+
+/// Compare regenerated (path, content) pairs against what is on disk.
+/// Returns one human-readable issue per problem: MISSING (no such file),
+/// DRIFT (bytes differ) and ORPHAN (a .md/.csv file in `dir` that no entry
+/// generates — a renamed sweep must take its old reports with it). Empty
+/// means the directory matches byte for byte.
+std::vector<std::string> check_generated_files(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const std::string& dir);
+
+}  // namespace explframe::sweep

@@ -1,0 +1,413 @@
+#include "sweep/runner.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "scenario/report.hpp"
+#include "support/check.hpp"
+
+namespace explframe::sweep {
+
+namespace {
+
+constexpr char kCheckpointMagic[] = "explsim-sweep-checkpoint v1";
+
+bool set_error(std::string* error, const std::string& what) {
+  if (error) *error = what;
+  return false;
+}
+
+std::string hex16(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i, value >>= 4) out[i] = digits[value & 0xf];
+  return out;
+}
+
+std::optional<bool> parse_bool_field(const std::string& text) {
+  if (text == "1") return true;
+  if (text == "0") return false;
+  return std::nullopt;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::optional<TrialRow> parse_trial(const std::string& text) {
+  const auto fields = split(text, ',');
+  if (fields.size() != 12) return std::nullopt;
+  TrialRow row;
+  const auto tf = parse_bool_field(fields[0]);
+  const auto rows = parse_u64(fields[1]);
+  const auto flips = parse_u64(fields[2]);
+  const auto steered = parse_bool_field(fields[3]);
+  const auto injected = parse_bool_field(fields[4]);
+  const auto predicted = parse_bool_field(fields[5]);
+  const auto recovered = parse_bool_field(fields[6]);
+  const auto cts = parse_u64(fields[7]);
+  const auto residual = parse_u64(fields[8]);
+  const auto success = parse_bool_field(fields[9]);
+  const auto time = parse_u64(fields[11]);
+  if (!tf || !rows || !flips || !steered || !injected || !predicted ||
+      !recovered || !cts || !residual || !success || !time ||
+      fields[10].empty() ||
+      *cts > std::numeric_limits<std::uint32_t>::max() ||
+      *residual > std::numeric_limits<std::uint32_t>::max())
+    return std::nullopt;
+  row.template_found = *tf;
+  row.rows_scanned = *rows;
+  row.flips_found = *flips;
+  row.steered = *steered;
+  row.fault_injected = *injected;
+  row.fault_as_predicted = *predicted;
+  row.key_recovered = *recovered;
+  row.ciphertexts_used = static_cast<std::uint32_t>(*cts);
+  row.residual_search = static_cast<std::uint32_t>(*residual);
+  row.success = *success;
+  row.failure_stage = fields[10];
+  row.total_time = *time;
+  return row;
+}
+
+std::string serialize_trial(const TrialRow& row) {
+  std::string out;
+  const auto field = [&out](const std::string& text) {
+    if (!out.empty()) out += ',';
+    out += text;
+  };
+  field(row.template_found ? "1" : "0");
+  field(std::to_string(row.rows_scanned));
+  field(std::to_string(row.flips_found));
+  field(row.steered ? "1" : "0");
+  field(row.fault_injected ? "1" : "0");
+  field(row.fault_as_predicted ? "1" : "0");
+  field(row.key_recovered ? "1" : "0");
+  field(std::to_string(row.ciphertexts_used));
+  field(std::to_string(row.residual_search));
+  field(row.success ? "1" : "0");
+  field(row.failure_stage);
+  field(std::to_string(row.total_time));
+  return out;
+}
+
+/// Read a whole file; nullopt when it cannot be opened.
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// The length of `content`'s durable prefix: everything up to and
+/// including the last newline. A trailing fragment with no newline is a
+/// torn final line — the crash fsync cannot rule out — and is *not*
+/// durable: load_checkpoint ignores it and CheckpointWriter truncates it
+/// before appending (so a resumed record never concatenates onto it).
+std::size_t durable_prefix(const std::string& content) noexcept {
+  const std::size_t last_newline = content.rfind('\n');
+  return last_newline == std::string::npos ? 0 : last_newline + 1;
+}
+
+/// Append-only, line-fsynced checkpoint writer. Every append is durable
+/// before it returns, so a kill loses only in-flight points.
+class CheckpointWriter {
+ public:
+  ~CheckpointWriter() { close(); }
+
+  bool open(const std::string& path, const std::string& sweep_name,
+            std::uint64_t spec_hash, bool append, std::string* error) {
+    bool continue_existing = false;
+    if (append && std::filesystem::exists(path)) {
+      // Drop a torn final line before appending, mirroring what
+      // load_checkpoint just ignored — otherwise the next record would
+      // concatenate onto the fragment and corrupt the file for good.
+      const auto content = read_file(path);
+      if (!content)
+        return set_error(error, "cannot read checkpoint '" + path + "'");
+      const std::size_t keep = durable_prefix(*content);
+      if (keep != content->size()) {
+        std::error_code ec;
+        std::filesystem::resize_file(path, keep, ec);
+        if (ec)
+          return set_error(error,
+                           "cannot truncate torn checkpoint '" + path + "'");
+      }
+      // A file torn before its header completed holds nothing durable;
+      // start it over.
+      continue_existing = keep > 0;
+    }
+    file_ = std::fopen(path.c_str(), continue_existing ? "ab" : "wb");
+    if (!file_)
+      return set_error(error, "cannot open checkpoint '" + path + "'");
+    if (!continue_existing) {
+      const std::string header = std::string(kCheckpointMagic) + " sweep=" +
+                                 sweep_name + " spec_hash=" +
+                                 hex16(spec_hash) + "\n";
+      if (std::fwrite(header.data(), 1, header.size(), file_) !=
+          header.size())
+        return set_error(error, "cannot write checkpoint '" + path + "'");
+      sync();
+    }
+    return true;
+  }
+
+  void append(const PointRecord& record) {
+    if (!file_) return;
+    const std::string line = record.serialize() + "\n";
+    std::fwrite(line.data(), 1, line.size(), file_);
+    sync();
+  }
+
+  void close() {
+    if (!file_) return;
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+
+ private:
+  void sync() {
+    std::fflush(file_);
+    ::fsync(::fileno(file_));
+  }
+
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace
+
+TrialRow TrialRow::from_report(const attack::CampaignReport& report) {
+  TrialRow row;
+  row.template_found = report.template_found;
+  row.rows_scanned = report.rows_scanned;
+  row.flips_found = report.flips_found;
+  row.steered = report.steered;
+  row.fault_injected = report.fault_injected;
+  row.fault_as_predicted = report.fault_as_predicted;
+  row.key_recovered = report.key_recovered;
+  row.ciphertexts_used = report.ciphertexts_used;
+  row.residual_search = report.residual_search;
+  row.success = report.success;
+  row.failure_stage = report.failure_stage();
+  row.total_time = report.total_time;
+  return row;
+}
+
+std::string PointRecord::serialize() const {
+  std::string out = "point " + std::to_string(index) + " " + id + " ";
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    if (i > 0) out += ';';
+    out += serialize_trial(trials[i]);
+  }
+  return out;
+}
+
+std::optional<PointRecord> PointRecord::parse(const std::string& line,
+                                              std::string* error) {
+  const auto fail = [&](const std::string& what)
+      -> std::optional<PointRecord> {
+    set_error(error, what);
+    return std::nullopt;
+  };
+
+  const auto tokens = split(line, ' ');
+  if (tokens.size() != 4 || tokens[0] != "point")
+    return fail("malformed record line '" + line + "'");
+  const auto index = parse_u64(tokens[1]);
+  if (!index) return fail("bad point index '" + tokens[1] + "'");
+  PointRecord record;
+  record.index = static_cast<std::size_t>(*index);
+  record.id = tokens[2];
+  if (record.id.empty()) return fail("empty point id");
+  for (const std::string& text : split(tokens[3], ';')) {
+    const auto trial = parse_trial(text);
+    if (!trial) return fail("malformed trial record '" + text + "'");
+    record.trials.push_back(*trial);
+  }
+  return record;
+}
+
+std::uint32_t PointRecord::successes() const noexcept {
+  std::uint32_t n = 0;
+  for (const TrialRow& trial : trials)
+    if (trial.success) ++n;
+  return n;
+}
+
+std::optional<std::vector<PointRecord>> load_checkpoint(
+    const std::string& path, const std::string& sweep_name,
+    std::uint64_t spec_hash, std::string* error) {
+  std::vector<PointRecord> records;
+  const auto content = read_file(path);
+  if (!content) return records;  // No checkpoint yet: nothing completed.
+
+  const auto fail = [&](const std::string& what)
+      -> std::optional<std::vector<PointRecord>> {
+    set_error(error, path + ": " + what);
+    return std::nullopt;
+  };
+
+  // Only newline-terminated lines are durable; a torn final fragment is
+  // the mid-write crash and its point simply reruns (the writer truncates
+  // it before appending). Every durable line, by contrast, was fsynced —
+  // if one fails to parse that is real corruption, never a crash artifact.
+  std::istringstream in(content->substr(0, durable_prefix(*content)));
+  std::string header;
+  if (!std::getline(in, header)) return records;  // Torn before the header.
+  const std::string expected = std::string(kCheckpointMagic) + " sweep=" +
+                               sweep_name + " spec_hash=" + hex16(spec_hash);
+  if (header != expected) {
+    if (header.rfind(kCheckpointMagic, 0) != 0)
+      return fail("not a sweep checkpoint");
+    return fail(
+        "checkpoint belongs to a different sweep spec (its spec_hash does "
+        "not match; the spec, its seeds or its base scenario changed). "
+        "Delete the file to start over.");
+  }
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string parse_error;
+    const auto record = PointRecord::parse(line, &parse_error);
+    if (!record) return fail(parse_error);
+    for (const PointRecord& seen : records)
+      if (seen.index == record->index)
+        return fail("duplicate record for point " +
+                    std::to_string(record->index));
+    records.push_back(*record);
+  }
+  return records;
+}
+
+std::optional<SweepResult> run_sweep(const SweepSpec& spec,
+                                     const scenario::Registry& registry,
+                                     const SweepRunOptions& options,
+                                     std::string* error) {
+  const auto points = spec.expand(registry, error);
+  if (!points) return std::nullopt;
+  EXPLFRAME_CHECK(!points->empty());
+  const std::uint64_t hash = spec.spec_hash(registry);
+
+  const auto fail = [&](const std::string& what)
+      -> std::optional<SweepResult> {
+    set_error(error, what);
+    return std::nullopt;
+  };
+
+  // Completed records, indexed by point; resumed ones come pre-filled.
+  std::vector<std::optional<PointRecord>> slots(points->size());
+  std::size_t resumed = 0;
+  if (!options.checkpoint_path.empty() && options.resume) {
+    const auto loaded =
+        load_checkpoint(options.checkpoint_path, spec.name, hash, error);
+    if (!loaded) return std::nullopt;
+    for (const PointRecord& record : *loaded) {
+      if (record.index >= points->size() ||
+          record.id != (*points)[record.index].id ||
+          record.trials.size() != (*points)[record.index].scenario.trials)
+        return fail(options.checkpoint_path + ": record for point " +
+                    std::to_string(record.index) +
+                    " does not match the expanded grid");
+      slots[record.index] = record;
+      ++resumed;
+    }
+  }
+
+  CheckpointWriter writer;
+  if (!options.checkpoint_path.empty() &&
+      !writer.open(options.checkpoint_path, spec.name, hash, options.resume,
+                   error))
+    return std::nullopt;
+
+  std::mutex mutex;  // Guards the writer, the slots and the progress hook.
+  if (options.on_point) {
+    for (const auto& slot : slots)
+      if (slot) options.on_point((*points)[slot->index], *slot, true);
+  }
+
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    if (!slots[i]) pending.push_back(i);
+
+  const auto start = std::chrono::steady_clock::now();
+  if (!pending.empty()) {
+    std::uint32_t threads = options.threads;
+    if (threads == 0) {
+      threads = std::thread::hardware_concurrency();
+      if (threads == 0) threads = 1;
+    }
+    if (threads > pending.size())
+      threads = static_cast<std::uint32_t>(pending.size());
+
+    // Work stealing: each worker pulls the next unfinished point; a worker
+    // stuck on a slow point never blocks the rest of the grid.
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&] {
+      while (true) {
+        const std::size_t slot = next.fetch_add(1);
+        if (slot >= pending.size()) return;
+        const std::size_t index = pending[slot];
+        const SweepPoint& point = (*points)[index];
+        // One thread per point: the sweep parallelises across points, so
+        // the inner CampaignRunner runs its trials serially.
+        const scenario::ScenarioResult result =
+            scenario::run_scenario(point.scenario, /*threads_override=*/1);
+        PointRecord record;
+        record.index = index;
+        record.id = point.id;
+        for (const attack::CampaignReport& report : result.aggregate.reports)
+          record.trials.push_back(TrialRow::from_report(report));
+
+        const std::lock_guard<std::mutex> lock(mutex);
+        writer.append(record);
+        slots[index] = std::move(record);
+        if (options.on_point) options.on_point(point, *slots[index], false);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  writer.close();
+  if (!options.checkpoint_path.empty() && options.remove_checkpoint_on_success)
+    std::filesystem::remove(options.checkpoint_path);
+
+  SweepResult result;
+  result.spec = spec;
+  result.points = std::move(*points);
+  result.records.reserve(slots.size());
+  for (auto& slot : slots) {
+    EXPLFRAME_CHECK(slot.has_value());
+    result.records.push_back(std::move(*slot));
+  }
+  result.resumed_points = resumed;
+  result.wall_seconds = elapsed.count();
+  return result;
+}
+
+}  // namespace explframe::sweep

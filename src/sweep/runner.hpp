@@ -1,0 +1,129 @@
+// sweep::SweepRunner — executes an expanded sweep grid across a worker
+// pool, with a crash-safe checkpoint so interrupted sweeps resume.
+//
+// Execution model: the expanded points form a shared work queue; each
+// worker thread repeatedly steals the next unfinished point and runs it
+// through scenario::run_scenario (CampaignRunner) single-threaded. Results
+// are keyed by point index, so the aggregate is bit-identical regardless
+// of thread count or completion order — parallelism changes only the wall
+// clock, exactly like CampaignRunner's own guarantee one level down.
+//
+// Checkpoint contract: when a checkpoint path is configured, every
+// completed point is appended to the file as one self-contained record
+// line and fsynced before the worker moves on, so a killed process loses
+// at most in-flight points. A checkpoint is bound to SweepSpec::spec_hash
+// (canonical spec text + resolved base scenario, seeds included): resuming
+// against a file whose hash does not match is an error, never a silent
+// partial rerun. Resumed points are *not* re-executed — their stored trial
+// records feed the emitters byte-identically to a fresh run, which
+// `explsim sweep run --resume` relies on and tests assert.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/campaign.hpp"
+#include "scenario/registry.hpp"
+#include "support/units.hpp"
+#include "sweep/spec.hpp"
+
+namespace explframe::sweep {
+
+/// The per-trial outcome fields the sweep emitters publish — the sweep-side
+/// mirror of attack::CampaignReport restricted to the long-form CSV columns,
+/// and the unit of checkpoint serialization (everything here round-trips
+/// losslessly as text, so a resumed point emits the same bytes as a fresh
+/// one).
+struct TrialRow {
+  bool template_found = false;
+  std::uint64_t rows_scanned = 0;
+  std::uint64_t flips_found = 0;
+  bool steered = false;
+  bool fault_injected = false;
+  bool fault_as_predicted = false;
+  bool key_recovered = false;
+  std::uint32_t ciphertexts_used = 0;
+  std::uint32_t residual_search = 0;
+  bool success = false;
+  std::string failure_stage;  ///< CampaignReport::failure_stage() string.
+  SimTime total_time = 0;     ///< Simulated nanoseconds (exact integer).
+
+  /// Project a campaign report onto the published columns.
+  static TrialRow from_report(const attack::CampaignReport& report);
+
+  bool operator==(const TrialRow&) const = default;
+};
+
+/// One completed grid point: its position plus every trial's outcome. One
+/// PointRecord is one checkpoint line.
+struct PointRecord {
+  std::size_t index = 0;
+  std::string id;  ///< Coordinate id, must match the expanded point's.
+  std::vector<TrialRow> trials;
+
+  /// The checkpoint line (no trailing newline): space-separated header
+  /// fields, then one comma-joined field list per trial, ';'-joined.
+  std::string serialize() const;
+  /// Inverse of serialize(). Nullopt + `error` on any malformed field.
+  static std::optional<PointRecord> parse(const std::string& line,
+                                          std::string* error = nullptr);
+
+  std::uint32_t successes() const noexcept;
+
+  bool operator==(const PointRecord&) const = default;
+};
+
+/// Parse a checkpoint file for the sweep identified by `spec_hash`.
+/// Returns the completed records (possibly empty; a missing file is an
+/// empty checkpoint, not an error). Only newline-terminated lines count:
+/// a torn final fragment without its newline (the mid-write crash fsync
+/// cannot rule out) is ignored and its point simply reruns — the resumed
+/// run truncates it before appending. Errors: a malformed header, a hash
+/// or sweep-name mismatch, or any malformed *durable* line (those were
+/// fsynced, so that is real corruption, never a crash artifact).
+std::optional<std::vector<PointRecord>> load_checkpoint(
+    const std::string& path, const std::string& sweep_name,
+    std::uint64_t spec_hash, std::string* error = nullptr);
+
+/// How run_sweep executes and checkpoints; plain data with usable defaults.
+struct SweepRunOptions {
+  /// Worker threads stealing points (0 = hardware concurrency, clamped to
+  /// the point count). Wall-clock only; results are identical.
+  std::uint32_t threads = 0;
+  /// Completed-point log; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Load `checkpoint_path` first and skip the recorded points. Without
+  /// this flag an existing checkpoint is truncated and the sweep reruns
+  /// from scratch.
+  bool resume = false;
+  /// Delete the checkpoint after the last point completes (a finished
+  /// sweep has nothing left to resume).
+  bool remove_checkpoint_on_success = true;
+  /// Progress hook, called under a lock in completion order.
+  /// `resumed` marks points served from the checkpoint.
+  std::function<void(const SweepPoint&, const PointRecord&, bool resumed)>
+      on_point;
+};
+
+/// A finished sweep: the spec, its expanded grid and one record per point
+/// (index order), ready for the report emitters.
+struct SweepResult {
+  SweepSpec spec;
+  std::vector<SweepPoint> points;
+  std::vector<PointRecord> records;
+  std::size_t resumed_points = 0;  ///< Served from the checkpoint.
+  double wall_seconds = 0.0;       ///< Host wall clock (stdout only).
+};
+
+/// Expand and execute `spec` against `registry` per `options`. Nullopt +
+/// `error` on expansion or checkpoint errors (never on attack outcomes —
+/// a failing attack is a result, not an error).
+std::optional<SweepResult> run_sweep(const SweepSpec& spec,
+                                     const scenario::Registry& registry,
+                                     const SweepRunOptions& options = {},
+                                     std::string* error = nullptr);
+
+}  // namespace explframe::sweep

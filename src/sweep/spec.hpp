@@ -1,0 +1,141 @@
+// sweep::SweepSpec — a declarative multi-dimensional scenario grid.
+//
+// A sweep is the paper's unit of *ablation*: one base scenario plus 1–3
+// swept axes (flips vs. hammer budget, key-recovery rate vs. defence
+// configuration, templating cost vs. row budget). A SweepSpec captures
+// that as plain data, round-trips through the flat `.sweep` key=value
+// format (support/config.hpp, same parser as `.scn`), and expands into a
+// deterministic grid of fully-validated scenario::Scenario points:
+//
+//   name = defence-grid
+//   title = Key-recovery rate under each hardware mitigation
+//   base = defence-none          # a registered scenario
+//   base.trials = 6              # optional base-field overrides
+//   axis.defence = none,trr,ecc,trr+ecc
+//   axis.weak_cells = realistic,vulnerable
+//
+// Axis values are either an explicit comma list or an integer range —
+// `lo:hi:x2` (geometric, factor >= 2) or `lo:hi:+50` (linear, step >= 1),
+// both inclusive of `hi` when landed on exactly. The canonical `.sweep`
+// serialization always writes the expanded list, so parse -> serialize ->
+// parse is closed and the serialized text is a complete record of the grid.
+//
+// Determinism contract: `expand()` is a pure function of (spec, scenario
+// registry). Point order is row-major in axis declaration order (the last
+// declared axis varies fastest), and per-point seeds are either the base
+// scenario's seed (`seed_mode = shared`, for paired ablations) or derived
+// from (base seed, point index) via SplitMix64 (`seed_mode = derived`,
+// for independent machine populations per point).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+
+namespace explframe::sweep {
+
+/// How each grid point's master seed is chosen (see the file comment).
+enum class SeedMode {
+  kShared,   ///< Every point keeps the base scenario's seed (paired runs).
+  kDerived,  ///< Per-point seed derived from (base seed, point index).
+};
+
+/// Canonical name ("shared" | "derived").
+const char* to_string(SeedMode mode) noexcept;
+/// Inverse of to_string; nullopt on an unknown name.
+std::optional<SeedMode> seed_mode_from_string(const std::string& name) noexcept;
+
+/// The seed a `derived`-mode point runs with. Exposed so a single grid
+/// point can be reproduced outside the sweep (`explsim run` on the .scn
+/// that `describe` prints uses exactly this value).
+std::uint64_t derive_point_seed(std::uint64_t base_seed,
+                                std::size_t index) noexcept;
+
+/// Expand the axis value syntax into an explicit, validated value list:
+/// a comma list ("none,trr,ecc"), a geometric integer range ("1000:64000:x2")
+/// or a linear integer range ("16:256:+48"). Returns nullopt and fills
+/// `error` on malformed syntax, empty ranges (lo > hi, factor < 2,
+/// step < 1), empty/duplicate/whitespace-bearing list entries.
+std::optional<std::vector<std::string>> expand_axis_values(
+    const std::string& text, std::string* error = nullptr);
+
+/// One swept dimension: a scenario `.scn` key plus its explicit value list
+/// (already expanded from range syntax at parse time).
+struct Axis {
+  std::string key;
+  std::vector<std::string> values;
+
+  bool operator==(const Axis&) const = default;
+};
+
+/// One expanded grid point: its position, human-readable coordinate id
+/// ("defence=trr,weak_cells=realistic") and the fully-validated scenario
+/// (named `<sweep>.p<index>`, titled by the coordinate id, seed already
+/// resolved per the spec's seed mode).
+struct SweepPoint {
+  std::size_t index = 0;
+  std::string id;
+  /// (axis key, value) in axis declaration order.
+  std::vector<std::pair<std::string, std::string>> coords;
+  scenario::Scenario scenario;
+};
+
+/// The declarative sweep: identity, base scenario reference, overrides and
+/// axes. Plain data; `expand()` does all registry-dependent validation.
+struct SweepSpec {
+  // ---- Identity (the handbook entry) ----
+  std::string name;         ///< Registry key, kebab-case, unique.
+  std::string title;        ///< One-line human title.
+  std::string description;  ///< One-paragraph handbook description.
+  std::string paper_ref;    ///< Paper figure/table this grid reproduces.
+
+  // ---- The grid ----
+  std::string base;  ///< Registered scenario name the grid starts from.
+  SeedMode seed_mode = SeedMode::kDerived;
+  /// `base.<key> = value` overrides, applied to the base scenario before
+  /// the axes (file order). Keys are scenario `.scn` keys.
+  std::vector<std::pair<std::string, std::string>> base_overrides;
+  /// 1–3 swept dimensions, declaration order (= grid nesting order).
+  std::vector<Axis> axes;
+
+  /// Product of the axis sizes (0 if there are no axes).
+  std::size_t point_count() const noexcept;
+
+  /// Serialize to canonical `.sweep` text (fixed key order, expanded axis
+  /// value lists). parse(serialize()) == *this.
+  std::string to_sweep() const;
+
+  /// Parse `.sweep` text. Syntax-level validation only (key shapes, axis
+  /// count and value syntax, seed mode names); registry-dependent checks
+  /// (base exists, axis keys are scenario keys, every point is a valid
+  /// scenario) happen in expand(). On failure returns nullopt and fills
+  /// `error` (when non-null).
+  static std::optional<SweepSpec> from_sweep(const std::string& text,
+                                             std::string* error = nullptr);
+
+  /// The base scenario with `base_overrides` applied (and validated), or
+  /// nullopt + `error` if the base is unknown or an override is invalid.
+  std::optional<scenario::Scenario> base_scenario(
+      const scenario::Registry& registry, std::string* error = nullptr) const;
+
+  /// Expand the full grid in deterministic order. Every point is validated
+  /// through Scenario::from_scn, so an unknown or out-of-range axis key
+  /// surfaces here as a parse-style error.
+  std::optional<std::vector<SweepPoint>> expand(
+      const scenario::Registry& registry, std::string* error = nullptr) const;
+
+  /// FNV-1a 64 over (canonical .sweep text, resolved base .scn text) —
+  /// the identity a checkpoint file is bound to. Any spec edit, seed
+  /// change or drift in the registered base scenario changes the hash and
+  /// invalidates outstanding checkpoints.
+  std::uint64_t spec_hash(const scenario::Registry& registry) const;
+
+  bool operator==(const SweepSpec&) const = default;
+};
+
+}  // namespace explframe::sweep

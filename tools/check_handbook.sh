@@ -1,0 +1,42 @@
+#!/bin/sh
+# Handbook-coverage lint (run by CI next to lint_headers.sh).
+#
+# docs/HANDBOOK.md is the task-oriented front door to the experiment
+# catalogue; a scenario or sweep that is registered in code but missing
+# from the handbook's tables is invisible to a reader. This script greps
+# the registration sites for every `s.name = "..."` / `name = ...` entry
+# and fails unless each name appears (backquoted) in docs/HANDBOOK.md.
+#
+# Registration sites are the single source of truth:
+#   src/scenario/registry.cpp  (Scenario entries, `s.name = "<name>";`)
+#   src/sweep/registry.cpp     (SweepSpec literals, `name = <name>`)
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+
+scenarios=$(sed -n 's/^[[:space:]]*s\.name = "\([A-Za-z0-9_.-]*\)";$/\1/p' \
+    src/scenario/registry.cpp)
+sweeps=$(sed -n 's/^name = \([A-Za-z0-9_.-]*\)$/\1/p' src/sweep/registry.cpp)
+
+if [ -z "$scenarios" ] || [ -z "$sweeps" ]; then
+  echo "check_handbook: failed to extract registered names (did the" >&2
+  echo "registration syntax change? update this script's patterns)" >&2
+  exit 2
+fi
+
+status=0
+for name in $scenarios $sweeps; do
+  if ! grep -q "\`$name\`" docs/HANDBOOK.md; then
+    echo "docs/HANDBOOK.md: error: registered entry '$name' is missing" \
+         "from the handbook tables" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "handbook lint failed (add the entries above to docs/HANDBOOK.md)" >&2
+else
+  echo "handbook lint: OK ($(echo "$scenarios" | wc -l) scenarios," \
+       "$(echo "$sweeps" | wc -l) sweeps covered)"
+fi
+exit $status

@@ -5,17 +5,27 @@
 //   explsim run <name|file.scn>       # run one scenario, print its report
 //   explsim all [--check]             # (re)generate docs/results/, or verify
 //
-// `run` accepts either a registered scenario name or a path to a `.scn`
-// file (anything containing '/' or ending in ".scn" is treated as a path),
-// so a registered experiment can be exported with `describe --scn`, edited
-// and re-run without recompiling.
+//   explsim sweep list                # the ablation-grid catalogue
+//   explsim sweep describe <name> [--sweep]
+//   explsim sweep run <name|file.sweep> [--resume]
+//   explsim sweep all [--check]       # (re)generate docs/results/sweeps/
 //
-// `all` regenerates the reproduction handbook (docs/results/): one
-// markdown + CSV report per registered scenario plus the README.md index.
-// With --check nothing is written; the regenerated bytes are compared
-// against the checked-in files and any drift is a non-zero exit — the CI
-// gate that keeps the handbook in sync with the code.
-#include <algorithm>
+// `run` accepts either a registered name or a path (anything containing
+// '/' or ending in ".scn"/".sweep" is treated as a path), so a registered
+// experiment can be exported with `describe --scn`/`--sweep`, edited and
+// re-run without recompiling.
+//
+// `all` regenerates the reproduction handbook (docs/results/ for
+// scenarios, docs/results/sweeps/ for grids): markdown + CSV per entry
+// plus a README.md index. With --check nothing is written; the regenerated
+// bytes are compared against the checked-in files and any drift is a
+// non-zero exit — the CI gate that keeps the handbook in sync with code.
+//
+// Sweeps checkpoint each completed grid point (fsynced, one record per
+// line) next to their output; an interrupted `sweep run`/`sweep all`
+// rerun with --resume skips the recorded points and still emits
+// byte-identical reports. A checkpoint is bound to the spec hash — edit
+// the spec (or its base scenario, or any seed) and the resume refuses.
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -29,6 +39,9 @@
 #include "scenario/registry.hpp"
 #include "scenario/report.hpp"
 #include "support/table.hpp"
+#include "sweep/registry.hpp"
+#include "sweep/report.hpp"
+#include "sweep/runner.hpp"
 
 using namespace explframe;
 using namespace explframe::scenario;
@@ -38,7 +51,7 @@ namespace {
 int usage(std::ostream& os, int code) {
   os << "usage: explsim <command> [options]\n"
         "\n"
-        "commands:\n"
+        "scenario commands:\n"
         "  list                      list registered scenarios\n"
         "  describe <name> [--scn]   show one scenario (--scn: canonical\n"
         "                            .scn text only, suitable for a file)\n"
@@ -49,7 +62,26 @@ int usage(std::ostream& os, int code) {
         "                            handbook (default DIR: docs/results)\n"
         "      [--check]             write nothing; fail on any byte of\n"
         "                            drift vs the checked-in reports\n"
-        "      [--threads=N]         worker threads (wall-clock only)\n";
+        "      [--threads=N]         worker threads (wall-clock only)\n"
+        "\n"
+        "sweep commands (multi-dimensional scenario grids):\n"
+        "  sweep list                list registered sweeps\n"
+        "  sweep describe <name> [--sweep]\n"
+        "                            show one sweep (--sweep: canonical\n"
+        "                            .sweep text only)\n"
+        "  sweep run <name|file.sweep>\n"
+        "                            run one grid and print its summary\n"
+        "      [--out=DIR]           also write <name>.md + <name>.csv\n"
+        "      [--threads=N]         point-stealing workers (wall-clock\n"
+        "                            only; results are identical)\n"
+        "      [--checkpoint=PATH]   completed-point log (default:\n"
+        "                            <name>.ckpt next to the output)\n"
+        "      [--resume]            skip points recorded in the\n"
+        "                            checkpoint instead of starting over\n"
+        "  sweep all [--out=DIR]     run every sweep and write the grids\n"
+        "                            (default DIR: docs/results/sweeps)\n"
+        "      [--check]             write nothing; fail on drift\n"
+        "      [--threads=N] [--resume]\n";
   return code;
 }
 
@@ -68,13 +100,16 @@ bool write_file(const std::string& path, const std::string& content) {
   return static_cast<bool>(out);
 }
 
-/// `run` operand: a path (contains '/' or ends in ".scn") is parsed as a
-/// .scn file; anything else is a registry lookup.
+/// True when a `run` operand names a file rather than a registry entry.
+bool is_path_operand(const std::string& operand, const char* extension) {
+  if (operand.find('/') != std::string::npos) return true;
+  const std::size_t n = std::strlen(extension);
+  return operand.size() > n &&
+         operand.compare(operand.size() - n, n, extension) == 0;
+}
+
 std::optional<Scenario> resolve_scenario(const std::string& operand) {
-  const bool is_path = operand.find('/') != std::string::npos ||
-                       (operand.size() > 4 &&
-                        operand.compare(operand.size() - 4, 4, ".scn") == 0);
-  if (is_path) {
+  if (is_path_operand(operand, ".scn")) {
     const auto text = read_file(operand);
     if (!text) {
       std::cerr << "explsim: cannot read '" << operand << "'\n";
@@ -95,6 +130,30 @@ std::optional<Scenario> resolve_scenario(const std::string& operand) {
     return std::nullopt;
   }
   return *s;
+}
+
+std::optional<sweep::SweepSpec> resolve_sweep(const std::string& operand) {
+  if (is_path_operand(operand, ".sweep")) {
+    const auto text = read_file(operand);
+    if (!text) {
+      std::cerr << "explsim: cannot read '" << operand << "'\n";
+      return std::nullopt;
+    }
+    std::string error;
+    const auto spec = sweep::SweepSpec::from_sweep(*text, &error);
+    if (!spec) {
+      std::cerr << "explsim: " << operand << ": " << error << "\n";
+      return std::nullopt;
+    }
+    return spec;
+  }
+  const sweep::SweepSpec* spec = sweep::Registry::builtin().find(operand);
+  if (!spec) {
+    std::cerr << "explsim: no sweep named '" << operand
+              << "' (try: explsim sweep list)\n";
+    return std::nullopt;
+  }
+  return *spec;
 }
 
 int cmd_list() {
@@ -158,6 +217,31 @@ int cmd_run(const std::string& operand, std::uint32_t threads,
   return 0;
 }
 
+/// Shared tail of every `all --check`: report issues or success.
+int finish_check(const std::vector<std::string>& issues, std::size_t total,
+                 const char* regenerate_command) {
+  for (const std::string& issue : issues) std::cerr << issue << "\n";
+  if (!issues.empty()) {
+    std::cerr << issues.size() << " report(s) out of date — regenerate with "
+              << "`" << regenerate_command << "` and commit the diff.\n";
+    return 1;
+  }
+  std::cout << "all " << total << " handbook files match.\n";
+  return 0;
+}
+
+int write_files(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  for (const auto& [path, content] : files) {
+    if (!write_file(path, content)) {
+      std::cerr << "explsim: cannot write '" << path
+                << "' (run from the repo root, or pass --out=DIR)\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int cmd_all(const std::string& out_dir, bool check, std::uint32_t threads) {
   std::vector<ScenarioResult> results;
   std::vector<std::pair<std::string, std::string>> files;  // path, content
@@ -174,55 +258,142 @@ int cmd_all(const std::string& out_dir, bool check, std::uint32_t threads) {
   }
   files.emplace_back(out_dir + "/README.md", markdown_index(results));
 
-  if (check) {
-    std::size_t bad = 0;
-    for (const auto& [path, content] : files) {
-      const auto on_disk = read_file(path);
-      if (!on_disk) {
-        std::cerr << "MISSING " << path << "\n";
-        ++bad;
-      } else if (*on_disk != content) {
-        std::cerr << "DRIFT   " << path
-                  << " (regenerated report differs from the checked-in "
-                     "golden)\n";
-        ++bad;
-      }
+  if (check)
+    return finish_check(sweep::check_generated_files(files, out_dir),
+                        files.size(), "explsim all");
+  if (const int rc = write_files(files)) return rc;
+  std::cout << "wrote " << files.size() << " files under " << out_dir
+            << "\n";
+  return 0;
+}
+
+// ---- sweep subcommands -----------------------------------------------------
+
+int cmd_sweep_list() {
+  Table t({"sweep", "base", "axes", "points", "title"});
+  for (const sweep::SweepSpec& spec : sweep::Registry::builtin().all()) {
+    std::string axes;
+    for (const sweep::Axis& axis : spec.axes) {
+      if (!axes.empty()) axes += " x ";
+      axes += axis.key + "(" + std::to_string(axis.values.size()) + ")";
     }
-    // A renamed or deleted scenario must take its old reports with it:
-    // anything in the handbook directory we did not just regenerate is an
-    // orphan the checked-in docs would silently keep shipping.
-    std::error_code ec;
-    for (const auto& entry :
-         std::filesystem::directory_iterator(out_dir, ec)) {
-      const std::string path = entry.path().generic_string();
-      const std::string ext = entry.path().extension().string();
-      if (!entry.is_regular_file() || (ext != ".md" && ext != ".csv"))
-        continue;
-      const bool generated =
-          std::any_of(files.begin(), files.end(),
-                      [&](const auto& f) { return f.first == path; });
-      if (!generated) {
-        std::cerr << "ORPHAN  " << path
-                  << " (no registered scenario generates this file)\n";
-        ++bad;
-      }
-    }
-    if (bad > 0) {
-      std::cerr << bad << " report(s) out of date — regenerate with "
-                   "`explsim all` and commit the diff.\n";
-      return 1;
-    }
-    std::cout << "all " << files.size() << " handbook files match.\n";
+    t.row(spec.name, spec.base, axes, spec.point_count(), spec.title);
+  }
+  t.print(std::cout);
+  std::cout << t.rows() << " sweeps. `explsim sweep describe <name>` for "
+            << "the grid, `explsim sweep run <name>` to reproduce it.\n";
+  return 0;
+}
+
+int cmd_sweep_describe(const std::string& name, bool sweep_only) {
+  const sweep::SweepSpec* spec = sweep::Registry::builtin().find(name);
+  if (!spec) {
+    std::cerr << "explsim: no sweep named '" << name << "'\n";
+    return 1;
+  }
+  if (sweep_only) {
+    std::cout << spec->to_sweep();
     return 0;
   }
+  std::cout << spec->title << "\n\n" << spec->description << "\n\npaper ref: "
+            << spec->paper_ref << "\n\n";
+  std::string error;
+  const auto points = spec->expand(Registry::builtin(), &error);
+  if (!points) {
+    std::cerr << "explsim: " << error << "\n";
+    return 1;
+  }
+  Table t({"point", "id", "scenario", "seed"});
+  for (const sweep::SweepPoint& p : *points)
+    t.row(p.index, p.id, p.scenario.name, p.scenario.seed);
+  t.print(std::cout);
+  std::cout << "\ncanonical .sweep (explsim sweep describe " << name
+            << " --sweep > my.sweep):\n\n" << spec->to_sweep();
+  return 0;
+}
 
-  for (const auto& [path, content] : files) {
-    if (!write_file(path, content)) {
-      std::cerr << "explsim: cannot write '" << path
-                << "' (run from the repo root, or pass --out=DIR)\n";
+/// Run one sweep with per-point progress lines; nullopt on error (already
+/// printed). The checkpoint is only engaged when a path is supplied.
+std::optional<sweep::SweepResult> run_one_sweep(
+    const sweep::SweepSpec& spec, std::uint32_t threads,
+    const std::string& checkpoint, bool resume) {
+  sweep::SweepRunOptions options;
+  options.threads = threads;
+  options.checkpoint_path = checkpoint;
+  options.resume = resume;
+  const std::size_t total = spec.point_count();
+  options.on_point = [&](const sweep::SweepPoint& point,
+                         const sweep::PointRecord& record, bool resumed) {
+    std::cout << "  [" << point.index + 1 << "/" << total << "] " << point.id
+              << ": " << record.successes() << "/" << record.trials.size()
+              << (resumed ? " (resumed from checkpoint)" : "") << "\n";
+  };
+  std::string error;
+  auto result =
+      sweep::run_sweep(spec, Registry::builtin(), options, &error);
+  if (!result) {
+    std::cerr << "explsim: " << error << "\n";
+    return std::nullopt;
+  }
+  return result;
+}
+
+int cmd_sweep_run(const std::string& operand, std::uint32_t threads,
+                  const std::string& out_dir, std::string checkpoint,
+                  bool resume) {
+  const auto spec = resolve_sweep(operand);
+  if (!spec) return 1;
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+  }
+  if (checkpoint.empty())
+    checkpoint = (out_dir.empty() ? spec->name : out_dir + "/" + spec->name) +
+                 ".ckpt";
+  std::cout << "sweep " << spec->name << ": " << spec->point_count()
+            << " points\n";
+  const auto result = run_one_sweep(*spec, threads, checkpoint, resume);
+  if (!result) return 1;
+  std::cout << "done in " << result->wall_seconds << " s ("
+            << result->resumed_points << " point(s) resumed)\n";
+  if (!out_dir.empty()) {
+    const std::string md = out_dir + "/" + spec->name + ".md";
+    const std::string csv = out_dir + "/" + spec->name + ".csv";
+    if (!write_file(md, sweep::sweep_markdown(*result)) ||
+        !write_file(csv, sweep::sweep_csv(*result))) {
+      std::cerr << "explsim: cannot write reports under '" << out_dir
+                << "'\n";
       return 1;
     }
+    std::cout << "wrote " << md << " and " << csv << "\n";
   }
+  return 0;
+}
+
+int cmd_sweep_all(const std::string& out_dir, bool check,
+                  std::uint32_t threads, bool resume) {
+  if (!check) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+  }
+  std::vector<sweep::SweepResult> results;
+  for (const sweep::SweepSpec& spec : sweep::Registry::builtin().all()) {
+    std::cout << (check ? "checking " : "running ") << spec.name << " ("
+              << spec.point_count() << " points)\n";
+    // --check must not leave state behind; otherwise checkpoint next to
+    // the outputs so a killed regeneration resumes with --resume.
+    const std::string checkpoint =
+        check ? std::string() : out_dir + "/" + spec.name + ".ckpt";
+    auto result = run_one_sweep(spec, threads, checkpoint, resume);
+    if (!result) return 1;
+    results.push_back(std::move(*result));
+  }
+  const auto files = sweep::sweep_files(results, out_dir);
+
+  if (check)
+    return finish_check(sweep::check_generated_files(files, out_dir),
+                        files.size(), "explsim sweep all");
+  if (const int rc = write_files(files)) return rc;
   std::cout << "wrote " << files.size() << " files under " << out_dir
             << "\n";
   return 0;
@@ -232,19 +403,33 @@ int cmd_all(const std::string& out_dir, bool check, std::uint32_t threads) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(std::cerr, 2);
-  const std::string command = argv[1];
+  std::string command = argv[1];
+  int first_option = 2;
+  const bool is_sweep = command == "sweep";
+  if (is_sweep) {
+    if (argc < 3) return usage(std::cerr, 2);
+    command = argv[2];
+    first_option = 3;
+  }
 
   std::vector<std::string> operands;
   bool scn_only = false;
+  bool sweep_only = false;
   bool check = false;
+  bool resume = false;
   std::uint32_t threads = 0;
   std::string out_dir;
-  for (int i = 2; i < argc; ++i) {
+  std::string checkpoint;
+  for (int i = first_option; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--scn") {
       scn_only = true;
+    } else if (arg == "--sweep") {
+      sweep_only = true;
     } else if (arg == "--check") {
       check = true;
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       const std::string value = arg.substr(std::strlen("--threads="));
       char* end = nullptr;
@@ -257,12 +442,27 @@ int main(int argc, char** argv) {
       threads = static_cast<std::uint32_t>(parsed);
     } else if (arg.rfind("--out=", 0) == 0) {
       out_dir = arg.substr(std::strlen("--out="));
+    } else if (arg.rfind("--checkpoint=", 0) == 0) {
+      checkpoint = arg.substr(std::strlen("--checkpoint="));
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "explsim: unknown option '" << arg << "'\n";
       return usage(std::cerr, 2);
     } else {
       operands.push_back(arg);
     }
+  }
+
+  if (is_sweep) {
+    if (command == "list" && operands.empty()) return cmd_sweep_list();
+    if (command == "describe" && operands.size() == 1)
+      return cmd_sweep_describe(operands[0], sweep_only);
+    if (command == "run" && operands.size() == 1)
+      return cmd_sweep_run(operands[0], threads, out_dir, checkpoint, resume);
+    if (command == "all" && operands.empty())
+      return cmd_sweep_all(
+          out_dir.empty() ? "docs/results/sweeps" : out_dir, check, threads,
+          resume);
+    return usage(std::cerr, 2);
   }
 
   if (command == "list" && operands.empty()) return cmd_list();
