@@ -1,6 +1,8 @@
 #include "attack/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <sstream>
 
 #include "kernel/noise.hpp"
 #include "support/check.hpp"
@@ -18,55 +20,102 @@ std::string CampaignReport::failure_stage() const {
   return "key-mismatch";
 }
 
-ExplFrameCampaign::ExplFrameCampaign(kernel::System& system,
-                                     const CampaignConfig& config)
-    : system_(&system), config_(config) {
+namespace {
+
+/// Both campaign drivers reject the same invalid (cipher, analysis)
+/// combinations before any simulated work happens.
+void check_analysis_combo(const CampaignConfig& config) {
   EXPLFRAME_CHECK_MSG(config.analysis != fault::AnalysisKind::kDfa,
                       "the campaign injects persistent faults; DFA needs "
                       "transient (correct, faulty) pairs");
-  // Fail fast on combinations make_analysis would reject mid-run.
   EXPLFRAME_CHECK_MSG(
       config.analysis != fault::AnalysisKind::kPfaMaxLikelihood ||
           config.cipher == crypto::CipherKind::kAes128,
       "max-likelihood PFA is AES-only");
 }
 
-CampaignReport ExplFrameCampaign::run() const {
-  const crypto::TableCipher& cipher = crypto::cipher_for(config_.cipher);
-  CampaignReport report;
-  report.cipher = config_.cipher;
-  const SimTime start = system_->now();
+}  // namespace
+
+std::string template_key(const kernel::SystemConfig& system,
+                         const CampaignConfig& campaign) {
+  std::ostringstream out;
+  out.precision(17);
+  const dram::DeviceParams& d = system.dram;
+  out << "mem=" << system.memory_bytes << " cpus=" << system.num_cpus
+      << " seed=" << system.seed << " zero=" << system.zero_on_alloc
+      << " charge_pt=" << system.charge_page_tables << '\n'
+      << "pcp=" << system.pcp.high << ',' << system.pcp.batch << ','
+      << system.pcp.lifo << '\n'
+      << "timings=" << d.timings.row_hit_ns << ',' << d.timings.row_conflict_ns
+      << ',' << d.timings.act_ns << ',' << d.timings.refresh_window_ns << '\n'
+      << "weak=" << d.weak_cells.cells_per_mib << ','
+      << d.weak_cells.threshold_log_mean << ','
+      << d.weak_cells.threshold_log_sigma << ','
+      << d.weak_cells.threshold_min << ',' << d.weak_cells.threshold_max << ','
+      << d.weak_cells.true_cell_fraction << ','
+      << d.weak_cells.single_sided_fraction << '\n'
+      << "mapping=" << static_cast<int>(d.mapping)
+      << " dps=" << d.data_pattern_sensitivity
+      << " spc=" << d.same_pattern_coupling << '\n'
+      << "trr=" << d.trr.enabled << ',' << d.trr.threshold << ','
+      << d.trr.sampler_entries << " ecc=" << d.ecc.enabled << '\n'
+      << "cipher=" << static_cast<int>(campaign.cipher)
+      << " cpu=" << campaign.cpu << '\n'
+      << "tmpl=" << static_cast<int>(campaign.templating.strategy) << ','
+      << campaign.templating.buffer_bytes << ','
+      << campaign.templating.hammer_iterations << ','
+      << campaign.templating.both_polarities << ','
+      << campaign.templating.stop_after << ',' << campaign.templating.max_rows
+      << ',' << campaign.templating.timing_probes << '\n'
+      << "victim=" << campaign.victim.sbox_offset << ','
+      << campaign.victim.data_pages << ',' << campaign.victim.warm_up
+      << " key=";
+  for (const std::uint8_t b : campaign.victim.key)
+    out << static_cast<int>(b) << '.';
+  return out.str();
+}
+
+TemplatedCampaign::TemplatedCampaign(kernel::System& system,
+                                     const CampaignConfig& config,
+                                     bool take_snapshot)
+    : system_(&system), config_(config) {
+  check_analysis_combo(config);
+  const crypto::TableCipher& cipher = crypto::cipher_for(config.cipher);
+  cipher_ = &cipher;
+  partial_.cipher = config.cipher;
+  start_ = system.now();
+  const auto wall_start = std::chrono::steady_clock::now();
 
   // Independent per-component sub-seeds: trials that differ only in the
   // master seed share no RNG stream, and no component's draw count can
   // perturb another's (the cross-talk the old per-attack Rng had).
-  SplitMix64 seeds(config_.seed);
+  SplitMix64 seeds(config.seed);
   const std::uint64_t templating_seed = seeds.next();
   const std::uint64_t victim_key_seed = seeds.next();
-  const std::uint64_t noise_seed = seeds.next();
-  const std::uint64_t plaintext_seed = seeds.next();
+  noise_seed_ = seeds.next();
+  plaintext_seed_ = seeds.next();
 
-  // Derived values stay in locals: run() must not mutate config_, so the
-  // object remains re-runnable and config() keeps reporting what the caller
-  // actually configured.
-  TemplateConfig templating_cfg = config_.templating;
+  // Derived values stay in locals/members: config_ must keep reporting
+  // what the caller actually configured.
+  TemplateConfig templating_cfg = config.templating;
   templating_cfg.seed = templating_seed;
-  VictimConfig victim_cfg = config_.victim;
+  VictimConfig victim_cfg = config.victim;
   if (victim_cfg.key.empty())
     victim_cfg.key = crypto::random_key(cipher, victim_key_seed);
-  report.victim_key = victim_cfg.key;
+  partial_.victim_key = victim_cfg.key;
 
   // ---------------------------------------------------------------- setup
-  kernel::Task& attacker = system_->spawn("attacker", config_.cpu);
+  attacker_ = &system.spawn("attacker", config.cpu);
 
   // The victim service is already running (it is a long-lived daemon); it
   // has not yet allocated the crypto context.
-  VictimCipherService victim(*system_, config_.cpu, cipher, victim_cfg);
-  victim.start();
+  victim_ = std::make_unique<VictimCipherService>(system, config.cpu, cipher,
+                                                  victim_cfg);
+  victim_->start();
 
   // ------------------------------------------------------------ 1 TEMPLATE
-  Templater templater(*system_, attacker, templating_cfg);
-  templater.allocate_buffer();
+  templater_ = std::make_unique<Templater>(system, *attacker_, templating_cfg);
+  templater_->allocate_buffer();
 
   const std::uint32_t table_off = victim_cfg.sbox_offset;
   const std::size_t table_size = cipher.table_size();
@@ -76,29 +125,64 @@ CampaignReport ExplFrameCampaign::run() const {
     return cipher.usable_flip(f.offset - table_off, f.bit, f.to_one);
   };
 
-  const TemplateReport tmpl = templater.scan_until(usable);
-  report.rows_scanned = tmpl.rows_scanned;
-  report.flips_found = tmpl.flips.size();
+  const TemplateReport tmpl = templater_->scan_until(usable);
+  partial_.rows_scanned = tmpl.rows_scanned;
+  partial_.flips_found = tmpl.flips.size();
   for (const FlipRecord& f : tmpl.flips) {
     if (usable(f)) {
-      report.template_found = true;
-      report.chosen = f;
+      partial_.template_found = true;
+      partial_.chosen = f;
       break;
     }
   }
+  if (partial_.template_found) {
+    partial_.table_index =
+        static_cast<std::uint16_t>(partial_.chosen.offset - table_off);
+    fault_model_ =
+        fault::fault_model_for(cipher, partial_.table_index,
+                               partial_.chosen.bit);
+    partial_.fault_mask = fault_model_.mask;
+    EXPLFRAME_LOG_INFO("template: flip at page offset ",
+                       log_hex(partial_.chosen.offset), " bit ",
+                       int(partial_.chosen.bit), " -> ", cipher.name(),
+                       " table index ", partial_.table_index);
+  }
+  template_time_ = system.now() - start_;
+  template_wall_ = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  // A failed templating run has no post-template phases to fork into; the
+  // machine is left untouched by run_fork then, so no snapshot is needed.
+  if (take_snapshot && partial_.template_found)
+    post_template_ = system.snapshot();
+}
+
+CampaignReport TemplatedCampaign::run_fork(const CampaignConfig& config) {
+  check_analysis_combo(config);
+  EXPLFRAME_CHECK_MSG(
+      config.seed == config_.seed &&
+          template_key(system_->config(), config) ==
+              template_key(system_->config(), config_),
+      "run_fork config diverges from the templated base on a "
+      "template-shaping field");
+
+  // Rewind the machine to the instant templating finished. The first fork
+  // after construction is a state-wise no-op (nothing ran in between), so
+  // a single-shot campaign pays only the epoch bump — which read paths
+  // never observe.
+  if (post_template_) system_->restore(*post_template_);
+
+  const crypto::TableCipher& cipher = *cipher_;
+  CampaignReport report = partial_;
+  report.template_time = template_time_;
+  report.template_wall_seconds = template_wall_;
+  report.forked_from_template = post_template_ != nullptr;
   if (!report.template_found) {
-    report.total_time = system_->now() - start;
+    report.total_time = system_->now() - start_;
     return report;
   }
-  report.table_index =
-      static_cast<std::uint16_t>(report.chosen.offset - table_off);
-  const fault::FaultModel fault_model =
-      fault::fault_model_for(cipher, report.table_index, report.chosen.bit);
-  report.fault_mask = fault_model.mask;
-  EXPLFRAME_LOG_INFO("template: flip at page offset ",
-                     log_hex(report.chosen.offset), " bit ",
-                     int(report.chosen.bit), " -> ", cipher.name(),
-                     " table index ", report.table_index);
+  kernel::Task& attacker = *attacker_;
+  VictimCipherService& victim = *victim_;
 
   // -------------------------------------------------------------- 2 PLANT
   report.planted_pfn = system_->translate(attacker, report.chosen.page_va);
@@ -106,13 +190,13 @@ CampaignReport ExplFrameCampaign::run() const {
   system_->sys_munmap(attacker, report.chosen.page_va, kPageSize);
 
   // Optional contention window between plant and victim allocation.
-  if (config_.noise_ops > 0) {
-    kernel::Task& noisy = system_->spawn("noise", config_.noise_cpu);
-    kernel::NoiseWorkload noise(*system_, noisy, {}, noise_seed);
-    if (config_.attacker_sleeps)
+  if (config.noise_ops > 0) {
+    kernel::Task& noisy = system_->spawn("noise", config.noise_cpu);
+    kernel::NoiseWorkload noise(*system_, noisy, {}, noise_seed_);
+    if (config.attacker_sleeps)
       attacker.set_state(kernel::TaskState::kSleeping);
-    noise.run(config_.noise_ops);
-    if (config_.attacker_sleeps)
+    noise.run(config.noise_ops);
+    if (config.attacker_sleeps)
       attacker.set_state(kernel::TaskState::kRunnable);
   }
 
@@ -123,7 +207,7 @@ CampaignReport ExplFrameCampaign::run() const {
   report.steered = report.victim_table_pfn == report.planted_pfn;
 
   // ------------------------------------------------------------- 4 HAMMER
-  templater.hammer_aggressors(report.chosen);
+  templater_->hammer_aggressors(report.chosen);
   report.fault_injected = victim.table_corrupted();
   if (report.fault_injected) {
     const auto table = victim.read_table();
@@ -136,19 +220,20 @@ CampaignReport ExplFrameCampaign::run() const {
     report.fault_as_predicted =
         live_diffs == 1 &&
         (table[report.table_index] &
-         cipher.live_bits(report.table_index)) == fault_model.v_new;
+         cipher.live_bits(report.table_index)) == fault_model_.v_new;
   }
   if (!report.steered || !report.fault_injected) {
-    report.total_time = system_->now() - start;
+    report.total_time = system_->now() - start_;
     return report;
   }
 
   // ---------------------------------------------- 5 + 6 HARVEST + ANALYSE
   // The engine knows v and v' from the template alone (index + bit) —
   // ExplFrame never observes the victim's memory.
-  auto analysis = fault::make_analysis(config_.analysis, cipher, fault_model);
-  Rng rng(plaintext_seed);
+  auto analysis = fault::make_analysis(config.analysis, cipher, fault_model_);
+  Rng rng(plaintext_seed_);
   const std::size_t block = cipher.block_size();
+  const std::size_t table_size = cipher.table_size();
   std::vector<std::uint8_t> pt(block);
   std::vector<std::uint8_t> ct(block);
 
@@ -160,10 +245,10 @@ CampaignReport ExplFrameCampaign::run() const {
     analysis->set_known_pair(pt, ct);
   }
 
-  std::uint32_t check_interval = config_.analysis_check_interval;
+  std::uint32_t check_interval = config.analysis_check_interval;
   if (check_interval == 0) check_interval = table_size >= 256 ? 256 : 25;
 
-  if (config_.batched_harvest) {
+  if (config.batched_harvest) {
     // Chunked fill/encrypt/absorb with the same check cadence as the
     // per-call loop below: chunks end exactly at the check_interval
     // multiples (and at the budget), the plaintext RNG stream is identical
@@ -171,13 +256,13 @@ CampaignReport ExplFrameCampaign::run() const {
     // fill equals that many per-block fills), and the key checks fire at
     // the same ciphertext counts — so reports are byte-identical.
     const std::uint32_t chunk_cap =
-        std::min(check_interval, config_.ciphertext_budget);
+        std::min(check_interval, config.ciphertext_budget);
     std::vector<std::uint8_t> pts(static_cast<std::size_t>(chunk_cap) * block);
     std::vector<std::uint8_t> cts(static_cast<std::size_t>(chunk_cap) * block);
     std::uint32_t done = 0;
-    while (done < config_.ciphertext_budget) {
+    while (done < config.ciphertext_budget) {
       const std::uint32_t n =
-          std::min(check_interval, config_.ciphertext_budget - done);
+          std::min(check_interval, config.ciphertext_budget - done);
       const std::span<std::uint8_t> pt_span(pts.data(), n * block);
       const std::span<std::uint8_t> ct_span(cts.data(), n * block);
       rng.fill_bytes(pt_span);
@@ -193,13 +278,13 @@ CampaignReport ExplFrameCampaign::run() const {
       }
     }
   } else {
-    for (std::uint32_t i = 0; i < config_.ciphertext_budget; ++i) {
+    for (std::uint32_t i = 0; i < config.ciphertext_budget; ++i) {
       rng.fill_bytes(pt);
       victim.encrypt(pt, ct);
       analysis->add_ciphertext(ct);
       // Periodically test whether the key is already pinned down.
       if ((i + 1) % check_interval == 0 ||
-          i + 1 == config_.ciphertext_budget) {
+          i + 1 == config.ciphertext_budget) {
         if (auto key = analysis->recover_key()) {
           report.key_recovered = true;
           report.recovered_key = std::move(*key);
@@ -211,12 +296,23 @@ CampaignReport ExplFrameCampaign::run() const {
     }
   }
   if (!report.key_recovered)
-    report.ciphertexts_used = config_.ciphertext_budget;
+    report.ciphertexts_used = config.ciphertext_budget;
 
   report.success =
       report.key_recovered && report.recovered_key == report.victim_key;
-  report.total_time = system_->now() - start;
+  report.total_time = system_->now() - start_;
   return report;
+}
+
+ExplFrameCampaign::ExplFrameCampaign(kernel::System& system,
+                                     const CampaignConfig& config)
+    : system_(&system), config_(config) {
+  check_analysis_combo(config);
+}
+
+CampaignReport ExplFrameCampaign::run() const {
+  TemplatedCampaign base(*system_, config_, config_.fork_from_snapshot);
+  return base.run_fork(config_);
 }
 
 }  // namespace explframe::attack

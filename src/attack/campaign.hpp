@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "crypto/table_cipher.hpp"
 #include "fault/analysis.hpp"
 #include "kernel/system.hpp"
+#include "snapshot/restorable.hpp"
 
 namespace explframe::attack {
 
@@ -54,6 +56,12 @@ struct CampaignConfig {
   /// chunked at the check cadence). Byte-identical reports either way —
   /// false exists only as the differential-testing escape hatch.
   bool batched_harvest = true;
+  /// Run the post-templating phases off a machine snapshot captured right
+  /// after templating (TemplatedCampaign). Byte-identical reports either
+  /// way — false exists only as the differential-testing escape hatch;
+  /// true additionally lets campaign groups sharing a templated base fork
+  /// trials instead of re-templating (the sweep amortization).
+  bool fork_from_snapshot = true;
   /// Background noise operations between plant and victim allocation
   /// (models other activity racing for the planted frame). CPU of the
   /// noise task and whether it shares the attack CPU are configurable.
@@ -106,8 +114,94 @@ struct CampaignReport {
   bool success = false;  ///< key_recovered && matches victim key.
   SimTime total_time = 0;
 
+  // ---- Timing breakdown --------------------------------------------------
+  /// Simulated time spent in phase 1 (templating); the rest of total_time
+  /// is the post-template attack. Deterministic (simulated clock).
+  SimTime template_time = 0;
+  /// Host wall-clock seconds spent templating. NOT byte-stable — excluded
+  /// from every golden-checked emitter; stdout/bench diagnostics only.
+  double template_wall_seconds = 0.0;
+  /// True if this report was produced by forking from a post-templating
+  /// snapshot (its templating phase was shared, not re-run). Diagnostic
+  /// only; every other field is byte-identical either way.
+  bool forked_from_template = false;
+
   /// First pipeline phase that failed ("none" on success).
   std::string failure_stage() const;
+};
+
+/// Canonical serialization of every (system, campaign) field that shapes
+/// the templating phase's outcome — geometry/timings/weak cells/defences,
+/// the full templating config, the victim allocation shape, the CPU —
+/// and nothing that only matters after templating (analysis kind, budgets,
+/// noise, harvest/fork flags, the campaign master seed). Two configs with
+/// equal keys and equal master seeds template identically, so their trials
+/// may fork from one shared post-templating snapshot (SweepRunner groups
+/// grid points by this key).
+std::string template_key(const kernel::SystemConfig& system,
+                         const CampaignConfig& campaign);
+
+/// The campaign split at its natural seam: construction runs setup +
+/// templating (phase 1) exactly as ExplFrameCampaign::run() would, then —
+/// when `take_snapshot` — captures a machine snapshot; run_fork() restores
+/// that snapshot and runs the post-template phases (2-6), so N variants
+/// sharing a templated base cost one templating plus N cheap forks. With
+/// take_snapshot = false there is no snapshot machinery at all and a
+/// single run_fork() is exactly the legacy single-shot campaign (the
+/// differential-testing escape hatch mirrors batched_harvest's).
+///
+/// Reports are byte-identical to fresh single-shot runs because (a) the
+/// machine restore is exact (snap::Restorable contract; the mmap cursor
+/// restore makes the victim's post-fork VAs match a fresh run), and
+/// (b) every post-template knob comes from the run_fork argument while
+/// every template-shaping field is CHECKed equal to the templated base
+/// (template_key + master seed).
+class TemplatedCampaign {
+ public:
+  /// Runs setup + templating immediately on `system` (which must be
+  /// freshly constructed, as in CampaignRunner::run_trial).
+  TemplatedCampaign(kernel::System& system, const CampaignConfig& config,
+                    bool take_snapshot);
+
+  /// Run phases 2-6 under `config`. CHECK: `config` agrees with the
+  /// templated base on template_key and master seed. Restores the
+  /// post-template snapshot first when one was taken, so calls are
+  /// independent; without one, at most a single call is meaningful.
+  CampaignReport run_fork(const CampaignConfig& config);
+
+  // ---- Introspection (debugger + tests) ---------------------------------
+  /// The templated base configuration.
+  const CampaignConfig& config() const noexcept { return config_; }
+  /// Phase-1 outcome fields (template_found, chosen flip, victim key, ...).
+  const CampaignReport& template_result() const noexcept { return partial_; }
+  /// The fault model derived from the chosen flip (valid iff
+  /// template_result().template_found).
+  const fault::FaultModel& fault_model() const noexcept { return fault_model_; }
+  kernel::System& system() noexcept { return *system_; }
+  kernel::Task& attacker() noexcept { return *attacker_; }
+  VictimCipherService& victim() noexcept { return *victim_; }
+  Templater& templater() noexcept { return *templater_; }
+  const crypto::TableCipher& cipher() const noexcept { return *cipher_; }
+  std::uint64_t noise_seed() const noexcept { return noise_seed_; }
+  std::uint64_t plaintext_seed() const noexcept { return plaintext_seed_; }
+  /// Simulated clock at campaign start (before setup + templating).
+  SimTime start_time() const noexcept { return start_; }
+
+ private:
+  kernel::System* system_;
+  CampaignConfig config_;
+  const crypto::TableCipher* cipher_ = nullptr;
+  std::unique_ptr<VictimCipherService> victim_;
+  std::unique_ptr<Templater> templater_;
+  kernel::Task* attacker_ = nullptr;
+  CampaignReport partial_;  ///< Phase-1 fields, copied into every fork.
+  fault::FaultModel fault_model_;
+  std::uint64_t noise_seed_ = 0;
+  std::uint64_t plaintext_seed_ = 0;
+  SimTime start_ = 0;
+  SimTime template_time_ = 0;
+  double template_wall_ = 0.0;
+  std::unique_ptr<snap::Snapshot> post_template_;
 };
 
 /// Drives the six-phase pipeline above over one kernel::System. run() never
@@ -115,6 +209,11 @@ struct CampaignReport {
 /// live in locals), so a campaign object is re-runnable — though each run()
 /// attacks the same System, whose state the previous run already changed;
 /// for bit-identical repeats, rebuild the System too.
+///
+/// run() is a thin wrapper over TemplatedCampaign: template once, fork
+/// once. config().fork_from_snapshot selects whether the fork really goes
+/// through a snapshot restore (exercising the CoW machinery on every
+/// campaign) or runs straight through (the legacy path).
 class ExplFrameCampaign {
  public:
   ExplFrameCampaign(kernel::System& system, const CampaignConfig& config);

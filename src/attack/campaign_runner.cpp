@@ -53,6 +53,29 @@ CampaignReport CampaignRunner::run_trial(const RunnerConfig& config,
   return campaign.run();
 }
 
+std::vector<CampaignReport> CampaignRunner::run_trial_group(
+    const RunnerConfig& base, const std::vector<CampaignConfig>& variants,
+    std::uint32_t trial) {
+  EXPLFRAME_CHECK(!variants.empty());
+  const auto [system_seed, campaign_seed] = trial_seeds(base.seed, trial);
+  kernel::SystemConfig sys_cfg = base.system;
+  sys_cfg.seed = system_seed;
+  kernel::System sys(sys_cfg);
+  CampaignConfig first = variants.front();
+  first.seed = campaign_seed;
+  // Template once; every variant forks from the shared snapshot (run_fork
+  // CHECKs that each variant matches the base's template_key).
+  TemplatedCampaign templated(sys, first, /*take_snapshot=*/true);
+  std::vector<CampaignReport> reports;
+  reports.reserve(variants.size());
+  for (const CampaignConfig& variant : variants) {
+    CampaignConfig cfg = variant;
+    cfg.seed = campaign_seed;
+    reports.push_back(templated.run_fork(cfg));
+  }
+  return reports;
+}
+
 CampaignAggregate CampaignRunner::run() {
   EXPLFRAME_CHECK(config_.trials > 0);
   // RunnerConfig promises threads == 0 behaves like 1, and there is never a
@@ -95,6 +118,9 @@ CampaignAggregate CampaignRunner::run() {
     if (r.success)
       agg.ciphertexts_used.add(static_cast<double>(r.ciphertexts_used));
     agg.sim_seconds.add(static_cast<double>(r.total_time) / kSecond);
+    agg.template_sim_seconds.add(static_cast<double>(r.template_time) /
+                                 kSecond);
+    agg.template_wall_seconds += r.template_wall_seconds;
     ++agg.failure_stages[r.failure_stage()];
     agg.reports.push_back(std::move(r));
   }

@@ -46,6 +46,13 @@ struct CampaignAggregate {
   Samples rows_scanned;      ///< All trials.
   Samples ciphertexts_used;  ///< Successful trials only.
   Samples sim_seconds;       ///< Simulated attack time, all trials.
+  /// Simulated templating time per trial — the slice of sim_seconds the
+  /// snapshot/fork engine amortizes away when trials share a base.
+  Samples template_sim_seconds;
+  /// Host seconds spent templating, summed over trials as reported (trials
+  /// forked from one base repeat the shared run's value). Diagnostic only;
+  /// never part of byte-stable emitters.
+  double template_wall_seconds = 0.0;
   /// failure_stage() -> count, including "none" for successes.
   std::map<std::string, std::uint32_t> failure_stages;
 
@@ -80,6 +87,16 @@ class CampaignRunner {
   /// Run exactly one trial (the runner's unit of work) synchronously.
   static CampaignReport run_trial(const RunnerConfig& config,
                                   std::uint32_t trial);
+
+  /// Run one trial of several campaign variants that agree on every
+  /// template-shaping field (attack::template_key; CHECKed) over ONE
+  /// machine: template once, snapshot, fork each variant from the shared
+  /// post-templating state. Element i corresponds to variants[i] and is
+  /// byte-identical to run_trial with that campaign config — this is the
+  /// sweep amortization (SweepRunner groups grid points by template_key).
+  static std::vector<CampaignReport> run_trial_group(
+      const RunnerConfig& base, const std::vector<CampaignConfig>& variants,
+      std::uint32_t trial);
 
   const RunnerConfig& config() const noexcept { return config_; }
 

@@ -266,9 +266,13 @@ TemplateReport Templater::scan_contiguous(
 }
 
 SimTime Templater::hammer_aggressors(const FlipRecord& flip) const {
+  return hammer_aggressors(flip, config_.hammer_iterations);
+}
+
+SimTime Templater::hammer_aggressors(const FlipRecord& flip,
+                                     std::uint64_t iterations) const {
   const vm::VirtAddr aggressors[2] = {flip.aggressor_lo, flip.aggressor_hi};
-  return system_->hammer_burst(*attacker_, aggressors,
-                               config_.hammer_iterations);
+  return system_->hammer_burst(*attacker_, aggressors, iterations);
 }
 
 }  // namespace explframe::attack

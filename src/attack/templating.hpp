@@ -27,6 +27,8 @@ struct FlipRecord {
   bool to_one = false;          ///< Direction observed (0->1 or 1->0).
   vm::VirtAddr aggressor_lo = 0;  ///< The two rows hammered (VAs).
   vm::VirtAddr aggressor_hi = 0;
+
+  bool operator==(const FlipRecord&) const = default;
 };
 
 /// How the attacker picks aggressor rows.
@@ -109,6 +111,12 @@ class Templater {
   /// Re-hammer the aggressors recorded for a flip (used again after the
   /// victim owns the page). Returns the simulated time spent.
   SimTime hammer_aggressors(const FlipRecord& flip) const;
+
+  /// Same, with an explicit iteration count — the time-travel debugger's
+  /// bisection probe hammers partial budgets to find the flipping
+  /// iteration.
+  SimTime hammer_aggressors(const FlipRecord& flip,
+                            std::uint64_t iterations) const;
 
  private:
   /// Hammer the pair and check the candidate row's pages for flips.

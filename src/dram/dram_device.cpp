@@ -32,18 +32,74 @@ DramDevice::DramDevice(const Geometry& geometry, const DeviceParams& params,
       weak_cells_(geometry, params.weak_cells, seed),
       open_row_(geometry.total_banks(), -1),
       weak_row_(geometry.total_rows(), 0),
+      zero_row_(std::make_unique<std::uint8_t[]>(geometry.row_bytes)),
       next_refresh_(params.timings.refresh_window_ns) {
+  std::memset(zero_row_.get(), 0, geometry_.row_bytes);
   for (const std::uint64_t r : weak_cells_.vulnerable_rows()) weak_row_[r] = 1;
 }
 
 std::uint8_t* DramDevice::row_storage(std::uint64_t flat_row) {
   auto it = rows_.find(flat_row);
   if (it == rows_.end()) {
-    auto buf = std::make_unique<std::uint8_t[]>(geometry_.row_bytes);
+    std::shared_ptr<std::uint8_t[]> buf(new std::uint8_t[geometry_.row_bytes]);
     std::memset(buf.get(), 0, geometry_.row_bytes);
     it = rows_.emplace(flat_row, std::move(buf)).first;
+  } else if (it->second.use_count() > 1) {
+    // The payload is shared with at least one snapshot Image: clone before
+    // handing out a mutable pointer (copy-on-write).
+    std::shared_ptr<std::uint8_t[]> buf(new std::uint8_t[geometry_.row_bytes]);
+    std::memcpy(buf.get(), it->second.get(), geometry_.row_bytes);
+    it->second = std::move(buf);
   }
   return it->second.get();
+}
+
+const std::uint8_t* DramDevice::row_view(std::uint64_t flat_row) const {
+  const auto it = rows_.find(flat_row);
+  // Untouched rows hold zeros; serve them from the shared zero row instead
+  // of allocating (keeps pure reads allocation- and clone-free).
+  return it != rows_.end() ? it->second.get() : zero_row_.get();
+}
+
+DramDevice::Image DramDevice::capture_image() const {
+  Image image;
+  image.rows = rows_;  // refcount bumps only — payloads stay shared
+  image.open_row = open_row_;
+  image.disturbance = disturbance_;
+  image.flips = flips_;
+  image.live_flips = live_flips_;
+  image.trr_sampler = trr_sampler_;
+  image.now = now_;
+  image.next_refresh = next_refresh_;
+  image.mutation_epoch = mutation_epoch_;
+  image.total_flips = total_flips_;
+  image.total_acts = total_acts_;
+  image.refreshes = refreshes_;
+  image.trr_hits = trr_hits_;
+  image.ecc_corrected = ecc_corrected_;
+  image.ecc_uncorrectable = ecc_uncorrectable_;
+  return image;
+}
+
+void DramDevice::restore_image(const Image& image) {
+  rows_ = image.rows;  // share again; the image stays valid for re-restore
+  open_row_ = image.open_row;
+  disturbance_ = image.disturbance;
+  flips_ = image.flips;
+  live_flips_ = image.live_flips;
+  trr_sampler_ = image.trr_sampler;
+  now_ = image.now;
+  next_refresh_ = image.next_refresh;
+  total_flips_ = image.total_flips;
+  total_acts_ = image.total_acts;
+  refreshes_ = image.refreshes;
+  trr_hits_ = image.trr_hits;
+  ecc_corrected_ = image.ecc_corrected;
+  ecc_uncorrectable_ = image.ecc_uncorrectable;
+  // The epoch must move strictly FORWARD across a rollback: a cache keyed
+  // on the pre-restore epoch (victim batch-encrypt context) would otherwise
+  // collide with a revived value and serve stale bytes.
+  mutation_epoch_ = std::max(mutation_epoch_, image.mutation_epoch) + 1;
 }
 
 void DramDevice::advance(SimTime dt) {
@@ -134,7 +190,7 @@ void DramDevice::read(PhysAddr addr, std::span<std::uint8_t> out) {
     const std::uint64_t fr = flat_row(geometry_, c);
     const std::size_t chunk = std::min<std::size_t>(
         out.size() - done, geometry_.row_bytes - c.col);
-    std::memcpy(out.data() + done, row_storage(fr) + c.col, chunk);
+    std::memcpy(out.data() + done, row_view(fr) + c.col, chunk);
     if (params_.ecc.enabled)
       ecc_filter(fr, c.col, out.subspan(done, chunk));
     done += chunk;
@@ -200,9 +256,12 @@ void DramDevice::check_victim_row(std::uint64_t victim_flat,
                                   const RowDisturbance& d) {
   const auto& cells = weak_cells_.cells_in_row(victim_flat);
   if (cells.empty()) return;
-  std::uint8_t* data = row_storage(victim_flat);
+  // Read through the const view and clone (CoW) only when a bit actually
+  // flips — the common no-flip check must not copy snapshot-shared rows.
+  const std::uint8_t* data = row_view(victim_flat);
+  std::uint8_t* mut = nullptr;
   for (const WeakCell& cell : cells) {
-    const bool stored = (data[cell.col] >> cell.bit) & 1u;
+    const bool stored = ((mut ? mut : data)[cell.col] >> cell.bit) & 1u;
     // Only charged cells can lose charge: true-cell charged at 1, anti at 0.
     if (stored != cell.true_cell) continue;
 
@@ -218,8 +277,9 @@ void DramDevice::check_victim_row(std::uint64_t victim_flat,
     }
     if (effective < static_cast<double>(cell.threshold)) continue;
 
-    data[cell.col] = static_cast<std::uint8_t>(
-        data[cell.col] ^ (1u << cell.bit));
+    if (!mut) mut = row_storage(victim_flat);  // may clone a shared row
+    mut[cell.col] = static_cast<std::uint8_t>(
+        mut[cell.col] ^ (1u << cell.bit));
     DramAddress at = victim;
     at.col = cell.col;
     FlipEvent ev;
@@ -444,7 +504,7 @@ void DramDevice::hammer_burst(std::span<const PhysAddr> aggressors,
         a0 = it->second.acts_above;
         b0 = it->second.acts_below;
       }
-      std::uint8_t* data = row_storage(v.flat);
+      const std::uint8_t* data = row_view(v.flat);
       for (const WeakCell& cell : cells) {
         const bool stored = (data[cell.col] >> cell.bit) & 1u;
         if (stored != cell.true_cell) continue;  // not charged: cannot flip

@@ -72,6 +72,49 @@ class DramDevice {
   DramDevice(const Geometry& geometry, const DeviceParams& params,
              std::uint64_t seed);
 
+  /// Disturbance accumulated by one weak row this refresh window.
+  struct RowDisturbance {
+    std::uint32_t acts_above = 0;  ///< Activations of row-1 this window.
+    std::uint32_t acts_below = 0;  ///< Activations of row+1 this window.
+  };
+  /// A flipped-but-not-yet-rewritten bit (ECC bookkeeping).
+  struct LiveFlip {
+    std::uint32_t col;
+    std::uint8_t bit;
+  };
+
+  /// Complete mutable device state, captured copy-on-write: row payloads
+  /// are shared with the live device (refcounted) and cloned only when one
+  /// side writes, so capturing is O(rows touched), not O(bytes stored).
+  /// The immutable members (geometry, params, mapping, weak-cell model)
+  /// are not part of the image — an image only ever goes back into the
+  /// device that produced it.
+  struct Image {
+    std::unordered_map<std::uint64_t, std::shared_ptr<std::uint8_t[]>> rows;
+    std::vector<std::int64_t> open_row;
+    std::unordered_map<std::uint64_t, RowDisturbance> disturbance;
+    std::vector<FlipEvent> flips;
+    std::unordered_map<std::uint64_t, std::vector<LiveFlip>> live_flips;
+    std::unordered_map<std::uint64_t, std::uint32_t> trr_sampler;
+    SimTime now = 0;
+    SimTime next_refresh = 0;
+    std::uint64_t mutation_epoch = 0;
+    std::uint64_t total_flips = 0;
+    std::uint64_t total_acts = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t trr_hits = 0;
+    std::uint64_t ecc_corrected = 0;
+    std::uint64_t ecc_uncorrectable = 0;
+  };
+
+  /// Capture the full mutable state (CoW; see Image).
+  Image capture_image() const;
+  /// Restore a previously captured image exactly — except the mutation
+  /// epoch, which lands strictly above both the live and the captured
+  /// value so epoch-keyed caches can never mistake pre-rollback state for
+  /// post-rollback state (see mutation_epoch()).
+  void restore_image(const Image& image);
+
   const Geometry& geometry() const noexcept { return geometry_; }
   const AddressMapping& mapping() const noexcept { return mapping_; }
   const WeakCellModel& weak_cells() const noexcept { return weak_cells_; }
@@ -140,16 +183,8 @@ class DramDevice {
   }
 
  private:
-  struct RowDisturbance {
-    std::uint32_t acts_above = 0;  ///< Activations of row-1 this window.
-    std::uint32_t acts_below = 0;  ///< Activations of row+1 this window.
-  };
-  struct LiveFlip {
-    std::uint32_t col;
-    std::uint8_t bit;
-  };
-
   std::uint8_t* row_storage(std::uint64_t flat_row);
+  const std::uint8_t* row_view(std::uint64_t flat_row) const;
   void advance(SimTime dt);
   void apply_disturbance(const DramAddress& aggressor);
   void check_victim_row(std::uint64_t victim_flat, const DramAddress& victim,
@@ -167,8 +202,13 @@ class DramDevice {
   AddressMapping mapping_;
   WeakCellModel weak_cells_;
 
-  // Lazily allocated row storage (zero-filled on first touch).
-  std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>> rows_;
+  // Lazily allocated row storage (zero-filled on first touch). Payloads
+  // are refcounted so snapshots share them copy-on-write: row_storage()
+  // clones a row iff an outstanding Image still references it.
+  std::unordered_map<std::uint64_t, std::shared_ptr<std::uint8_t[]>> rows_;
+
+  // Canonical all-zeros row, backing row_view() for untouched rows.
+  std::unique_ptr<std::uint8_t[]> zero_row_;
 
   // Row-buffer state: open row per flat bank (-1 = closed).
   std::vector<std::int64_t> open_row_;

@@ -19,6 +19,81 @@ const char* to_string(TaskState state) noexcept {
   return "?";
 }
 
+namespace {
+
+/// Per-task slice of a machine snapshot. Task id/name are immutable and
+/// identify the slot; everything mutable is the CPU, scheduling state and
+/// the address space.
+struct TaskImage {
+  std::int32_t id = 0;
+  std::uint32_t cpu = 0;
+  TaskState state = TaskState::kRunnable;
+  vm::AddressSpace::Image space;
+};
+
+}  // namespace
+
+/// The concrete snapshot System produces: one image per subsystem, bound
+/// to the owning System so a foreign snapshot is rejected on restore.
+class MachineSnapshot final : public snap::Snapshot {
+ public:
+  const System* owner = nullptr;
+  dram::DramDevice::Image dram;
+  mm::PageAllocator::Image alloc;
+  std::vector<TaskImage> tasks;
+  SystemStats stats;
+  std::int32_t next_task_id = 1;
+};
+
+std::unique_ptr<snap::Snapshot> System::snapshot() const {
+  auto snap = std::make_unique<MachineSnapshot>();
+  snap->owner = this;
+  snap->dram = dram_->capture_image();
+  snap->alloc = alloc_->capture_image();
+  for (const auto& t : tasks_) {
+    TaskImage ti;
+    ti.id = t->id();
+    ti.cpu = t->cpu();
+    ti.state = t->state();
+    ti.space = t->space().capture_image();
+    snap->tasks.push_back(std::move(ti));
+  }
+  snap->stats = stats_;
+  snap->next_task_id = next_task_id_;
+  return snap;
+}
+
+void System::restore(const snap::Snapshot& state) {
+  const auto* snap = dynamic_cast<const MachineSnapshot*>(&state);
+  EXPLFRAME_CHECK_MSG(snap != nullptr && snap->owner == this,
+                      "restore from a snapshot of a different machine");
+  // Task ids are monotonic and tasks_ is append-only, so the snapshot's
+  // task list is a strict prefix of the live one.
+  EXPLFRAME_CHECK(tasks_.size() >= snap->tasks.size());
+  for (std::size_t i = 0; i < snap->tasks.size(); ++i)
+    EXPLFRAME_CHECK(tasks_[i]->id() == snap->tasks[i].id);
+  // Destroy tasks spawned after the capture FIRST: their page-table frame
+  // releases mutate the live (doomed) allocator, which is restored right
+  // after. Move each task out of tasks_ before destroying it — the dtor's
+  // FrameClient calls find_task(), which iterates tasks_.
+  while (tasks_.size() > snap->tasks.size()) {
+    std::unique_ptr<Task> dying = std::move(tasks_.back());
+    tasks_.pop_back();
+    dying.reset();
+  }
+  dram_->restore_image(snap->dram);  // epoch strictly advances here
+  alloc_->restore_image(snap->alloc);
+  // Surviving tasks restore in place: Task addresses (held by campaign
+  // components as Task&) stay valid across the rollback.
+  for (std::size_t i = 0; i < snap->tasks.size(); ++i) {
+    tasks_[i]->set_cpu(snap->tasks[i].cpu);
+    tasks_[i]->set_state(snap->tasks[i].state);
+    tasks_[i]->space().restore_image(snap->tasks[i].space);
+  }
+  stats_ = snap->stats;
+  next_task_id_ = snap->next_task_id;
+}
+
 System::System(const SystemConfig& config) : config_(config) {
   dram_ = std::make_unique<dram::DramDevice>(
       dram::Geometry::with_capacity(config.memory_bytes), config.dram,

@@ -18,6 +18,7 @@
 #include "dram/dram_device.hpp"
 #include "mm/page_allocator.hpp"
 #include "kernel/task.hpp"
+#include "snapshot/restorable.hpp"
 #include "vm/pagemap.hpp"
 
 namespace explframe::kernel {
@@ -40,12 +41,24 @@ struct SystemStats {
   std::uint64_t table_frames = 0;
 };
 
-class System {
+class System : public snap::Restorable {
  public:
   explicit System(const SystemConfig& config);
 
   System(const System&) = delete;
   System& operator=(const System&) = delete;
+
+  // ---- Snapshot / fork (snap::Restorable) --------------------------------
+  /// Capture the complete machine state — DRAM (CoW row payloads), page
+  /// allocator, every task's address space, stats. Cheap: row data is
+  /// shared with the snapshot, not copied.
+  std::unique_ptr<snap::Snapshot> snapshot() const override;
+  /// Roll the machine back exactly. Tasks spawned after the capture are
+  /// destroyed; surviving Task objects are restored IN PLACE (their
+  /// addresses stay valid, so components holding Task& keep working across
+  /// a rollback). The memory epoch strictly advances so epoch-keyed caches
+  /// (victim batch-encrypt) can never serve pre-rollback state.
+  void restore(const snap::Snapshot& state) override;
 
   // ---- Process management -----------------------------------------------
   Task& spawn(const std::string& name, std::uint32_t cpu);

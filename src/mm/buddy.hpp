@@ -65,6 +65,23 @@ class BuddyAllocator {
   /// overlapping blocks, free page accounting. Aborts on violation.
   void verify() const;
 
+  /// Snapshot of the allocator's mutable state (the page-frame states live
+  /// in the shared PageFrameDatabase and are captured there).
+  struct Image {
+    std::array<std::set<Pfn>, kMaxOrder> free_lists;
+    std::uint64_t free_pages = 0;
+    BuddyStats stats;
+  };
+
+  /// Capture the mutable state for a snapshot.
+  Image capture_image() const { return {free_lists_, free_pages_, stats_}; }
+  /// Restore a previously captured image exactly.
+  void restore_image(const Image& image) {
+    free_lists_ = image.free_lists;
+    free_pages_ = image.free_pages;
+    stats_ = image.stats;
+  }
+
  private:
   Pfn buddy_of(Pfn rel, std::uint32_t order) const noexcept {
     return rel ^ (Pfn{1} << order);

@@ -54,6 +54,15 @@ class PageFrameDatabase {
 
   std::uint64_t size() const noexcept { return frames_.size(); }
 
+  // ---- Snapshot support (whole-array capture/restore) ----
+  /// The full frame array, for snapshot capture.
+  const std::vector<PageFrame>& all_frames() const noexcept { return frames_; }
+  /// Restore a previously captured frame array (same machine, same size).
+  void restore_frames(const std::vector<PageFrame>& frames) {
+    EXPLFRAME_CHECK(frames.size() == frames_.size());
+    frames_ = frames;
+  }
+
  private:
   std::vector<PageFrame> frames_;
 };

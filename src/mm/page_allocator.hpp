@@ -97,6 +97,46 @@ class PageAllocator {
   /// Consistency check across all zones (tests).
   void verify() const;
 
+  /// Snapshot of the allocator's complete mutable state: the page-frame
+  /// database plus, per zone, the buddy free lists and every CPU's page
+  /// cache. Zone layout/watermarks are config-derived and immutable.
+  struct Image {
+    std::vector<PageFrame> frames;
+    std::vector<BuddyAllocator::Image> buddies;          ///< Per zone.
+    std::vector<std::vector<PerCpuPageCache::Image>> pcps;  ///< [zone][cpu].
+    VmStats vmstat;
+    std::uint64_t alloc_seq = 0;
+  };
+
+  /// Capture the full mutable state for a snapshot.
+  Image capture_image() const {
+    Image image;
+    image.frames = db_.all_frames();
+    for (const auto& z : zones_) {
+      image.buddies.push_back(z->buddy().capture_image());
+      std::vector<PerCpuPageCache::Image> cpus;
+      for (std::uint32_t c = 0; c < z->num_cpus(); ++c)
+        cpus.push_back(z->pcp(c).capture_image());
+      image.pcps.push_back(std::move(cpus));
+    }
+    image.vmstat = vmstat_;
+    image.alloc_seq = alloc_seq_;
+    return image;
+  }
+
+  /// Restore a previously captured image exactly (same configuration).
+  void restore_image(const Image& image) {
+    EXPLFRAME_CHECK(image.buddies.size() == zones_.size());
+    db_.restore_frames(image.frames);
+    for (std::size_t i = 0; i < zones_.size(); ++i) {
+      zones_[i]->buddy().restore_image(image.buddies[i]);
+      for (std::uint32_t c = 0; c < zones_[i]->num_cpus(); ++c)
+        zones_[i]->pcp(c).restore_image(image.pcps[i][c]);
+    }
+    vmstat_ = image.vmstat;
+    alloc_seq_ = image.alloc_seq;
+  }
+
  private:
   Pfn rmqueue_pcp(Zone& zone, std::uint32_t cpu, const GfpFlags& gfp);
   Pfn rmqueue_buddy(Zone& zone, std::uint32_t order);

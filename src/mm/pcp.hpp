@@ -66,6 +66,20 @@ class PerCpuPageCache {
   PcpStats& stats() noexcept { return stats_; }
   const PcpStats& stats() const noexcept { return stats_; }
 
+  /// Snapshot of the cache's mutable state (config is immutable).
+  struct Image {
+    std::deque<Pfn> pages;
+    PcpStats stats;
+  };
+
+  /// Capture the mutable state for a snapshot.
+  Image capture_image() const { return {pages_, stats_}; }
+  /// Restore a previously captured image exactly.
+  void restore_image(const Image& image) {
+    pages_ = image.pages;
+    stats_ = image.stats;
+  }
+
  private:
   PcpConfig config_;
   std::deque<Pfn> pages_;

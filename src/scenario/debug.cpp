@@ -1,0 +1,315 @@
+#include "scenario/debug.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "kernel/noise.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/units.hpp"
+
+namespace explframe::scenario {
+
+namespace {
+
+std::string hex_byte(std::uint8_t value) {
+  static const char* digits = "0123456789abcdef";
+  return std::string("0x") + digits[value >> 4] + std::string(1, digits[value & 0xf]);
+}
+
+std::string yes_no(bool value) { return value ? "yes" : "no"; }
+
+}  // namespace
+
+DebugSession::DebugSession(const Scenario& scenario, std::uint32_t trial)
+    : scenario_name_(scenario.name),
+      trial_(trial),
+      runner_(scenario.runner_config()) {
+  // Exactly CampaignRunner::run_trial's machine: same derived seed pair,
+  // fresh System, templating run by the TemplatedCampaign constructor.
+  const auto [system_seed, campaign_seed] =
+      attack::CampaignRunner::trial_seeds(runner_.seed, trial);
+  kernel::SystemConfig sys_cfg = runner_.system;
+  sys_cfg.seed = system_seed;
+  system_ = std::make_unique<kernel::System>(sys_cfg);
+  campaign_cfg_ = runner_.campaign;
+  campaign_cfg_.seed = campaign_seed;
+  // The timeline owns all snapshots here, so the campaign takes none.
+  campaign_ = std::make_unique<attack::TemplatedCampaign>(
+      *system_, campaign_cfg_, /*take_snapshot=*/false);
+  timeline_ = std::make_unique<snap::Timeline>(*system_);
+  timeline_->push("post-template");
+  reports_.push_back(campaign_->template_result());
+  if (reports_.front().template_found) {
+    events_.push_back("plant");
+    if (campaign_cfg_.noise_ops > 0) events_.push_back("noise");
+    events_.push_back("steer");
+    events_.push_back("hammer");
+    events_.push_back("harvest");
+  }
+}
+
+bool DebugSession::template_found() const noexcept {
+  return reports_.front().template_found;
+}
+
+std::optional<std::size_t> DebugSession::layer_of(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < timeline_->size(); ++i)
+    if (timeline_->label(i) == name) return i;
+  return std::nullopt;
+}
+
+void DebugSession::do_plant(attack::CampaignReport& report) {
+  kernel::Task& attacker = campaign_->attacker();
+  report.planted_pfn = system_->translate(attacker, report.chosen.page_va);
+  EXPLFRAME_CHECK(report.planted_pfn != mm::kInvalidPfn);
+  system_->sys_munmap(attacker, report.chosen.page_va, kPageSize);
+}
+
+void DebugSession::do_noise(attack::CampaignReport& report) {
+  (void)report;
+  kernel::Task& attacker = campaign_->attacker();
+  kernel::Task& noisy = system_->spawn("noise", campaign_cfg_.noise_cpu);
+  kernel::NoiseWorkload noise(*system_, noisy, {}, campaign_->noise_seed());
+  if (campaign_cfg_.attacker_sleeps)
+    attacker.set_state(kernel::TaskState::kSleeping);
+  noise.run(campaign_cfg_.noise_ops);
+  if (campaign_cfg_.attacker_sleeps)
+    attacker.set_state(kernel::TaskState::kRunnable);
+}
+
+void DebugSession::do_steer(attack::CampaignReport& report) {
+  attack::VictimCipherService& victim = campaign_->victim();
+  victim.install_tables();
+  report.victim_table_pfn =
+      system_->translate(victim.task(), victim.table_page_va());
+  report.steered = report.victim_table_pfn == report.planted_pfn;
+}
+
+void DebugSession::do_hammer(attack::CampaignReport& report) {
+  const crypto::TableCipher& cipher = campaign_->cipher();
+  campaign_->templater().hammer_aggressors(report.chosen);
+  report.fault_injected = campaign_->victim().table_corrupted();
+  if (report.fault_injected) {
+    const auto table = campaign_->victim().read_table();
+    const auto canonical = cipher.canonical_table();
+    std::uint32_t live_diffs = 0;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      const std::uint8_t live = cipher.live_bits(i);
+      if ((table[i] & live) != (canonical[i] & live)) ++live_diffs;
+    }
+    report.fault_as_predicted =
+        live_diffs == 1 &&
+        (table[report.table_index] & cipher.live_bits(report.table_index)) ==
+            campaign_->fault_model().v_new;
+  }
+}
+
+void DebugSession::do_harvest(attack::CampaignReport& report) {
+  // Mirrors run_fork's early return: a failed steer or injection leaves
+  // nothing to harvest.
+  if (!report.steered || !report.fault_injected) return;
+  const crypto::TableCipher& cipher = campaign_->cipher();
+  attack::VictimCipherService& victim = campaign_->victim();
+  auto analysis = fault::make_analysis(campaign_cfg_.analysis, cipher,
+                                       campaign_->fault_model());
+  Rng rng(campaign_->plaintext_seed());
+  const std::size_t block = cipher.block_size();
+  const std::size_t table_size = cipher.table_size();
+  std::vector<std::uint8_t> pt(block);
+  std::vector<std::uint8_t> ct(block);
+  if (analysis->wants_known_pair()) {
+    rng.fill_bytes(pt);
+    victim.encrypt(pt, ct);
+    analysis->set_known_pair(pt, ct);
+  }
+  std::uint32_t check_interval = campaign_cfg_.analysis_check_interval;
+  if (check_interval == 0) check_interval = table_size >= 256 ? 256 : 25;
+  // The per-call harvest loop (byte-identical to the batched fast path;
+  // single stepping has no batching to amortize).
+  for (std::uint32_t i = 0; i < campaign_cfg_.ciphertext_budget; ++i) {
+    rng.fill_bytes(pt);
+    victim.encrypt(pt, ct);
+    analysis->add_ciphertext(ct);
+    if ((i + 1) % check_interval == 0 ||
+        i + 1 == campaign_cfg_.ciphertext_budget) {
+      if (auto key = analysis->recover_key()) {
+        report.key_recovered = true;
+        report.recovered_key = std::move(*key);
+        report.residual_search = analysis->residual_search();
+        report.ciphertexts_used = i + 1;
+        break;
+      }
+    }
+  }
+  if (!report.key_recovered)
+    report.ciphertexts_used = campaign_cfg_.ciphertext_budget;
+  report.success =
+      report.key_recovered && report.recovered_key == report.victim_key;
+}
+
+std::string DebugSession::step() {
+  EXPLFRAME_CHECK_MSG(!done(), "debug session has no events left to step");
+  const std::string name = events_[position_];
+  attack::CampaignReport report = reports_[position_];
+  std::ostringstream out;
+  if (name == "plant") {
+    do_plant(report);
+    out << "plant: munmapped attacker page, frame pfn=" << report.planted_pfn
+        << " now heads the per-cpu cache";
+  } else if (name == "noise") {
+    do_noise(report);
+    out << "noise: ran " << campaign_cfg_.noise_ops
+        << " contention ops (attacker "
+        << (campaign_cfg_.attacker_sleeps ? "sleeping" : "active") << ")";
+  } else if (name == "steer") {
+    do_steer(report);
+    out << "steer: victim table landed on pfn=" << report.victim_table_pfn
+        << " (planted pfn=" << report.planted_pfn
+        << ") -> steered=" << yes_no(report.steered);
+  } else if (name == "hammer") {
+    do_hammer(report);
+    out << "hammer: re-hammered aggressors for "
+        << campaign_cfg_.templating.hammer_iterations
+        << " iterations -> fault_injected=" << yes_no(report.fault_injected)
+        << ", as_predicted=" << yes_no(report.fault_as_predicted);
+  } else {
+    do_harvest(report);
+    if (!report.steered || !report.fault_injected)
+      out << "harvest: skipped (steering or fault injection already failed)";
+    else
+      out << "harvest: " << report.ciphertexts_used
+          << " ciphertexts -> key_recovered=" << yes_no(report.key_recovered)
+          << ", success=" << yes_no(report.success);
+  }
+  report.total_time = system_->now() - campaign_->start_time();
+  ++position_;
+  timeline_->push(name);
+  reports_.push_back(std::move(report));
+  return out.str();
+}
+
+bool DebugSession::run_until(const std::string& name, std::string* error) {
+  const auto it = std::find(events_.begin(), events_.end(), name);
+  if (it == events_.end()) {
+    if (error) *error = "unknown event '" + name + "'";
+    return false;
+  }
+  const std::size_t target =
+      static_cast<std::size_t>(it - events_.begin()) + 1;
+  if (target <= position_) {
+    if (error)
+      *error = "event '" + name + "' already executed (rewind to replay it)";
+    return false;
+  }
+  while (position_ < target) step();
+  return true;
+}
+
+bool DebugSession::rewind(std::size_t count, std::string* error) {
+  if (count > position_) {
+    if (error)
+      *error = "cannot rewind " + std::to_string(count) + " event(s); only " +
+               std::to_string(position_) + " executed";
+    return false;
+  }
+  position_ -= count;
+  timeline_->rewind_to(position_);
+  reports_.resize(position_ + 1);
+  return true;
+}
+
+std::string DebugSession::status() const {
+  const attack::CampaignReport& r = report();
+  std::ostringstream out;
+  out << "scenario " << scenario_name_ << ", trial " << trial_ << "\n";
+  if (!template_found()) {
+    out << "templating found no usable flip (" << r.rows_scanned
+        << " rows scanned); nothing to debug\n";
+    return out.str();
+  }
+  out << "template: flip at page offset " << r.chosen.offset << " bit "
+      << int(r.chosen.bit) << " -> table index " << r.table_index << "\n"
+      << "position: " << position_ << "/" << events_.size()
+      << " events executed\n";
+  for (std::size_t i = 0; i < events_.size(); ++i)
+    out << "  [" << (i < position_ ? 'x' : ' ') << "] " << events_[i] << "\n";
+  out << "report so far: steered=" << yes_no(r.steered)
+      << ", fault_injected=" << yes_no(r.fault_injected)
+      << ", key_recovered=" << yes_no(r.key_recovered)
+      << ", success=" << yes_no(r.success) << ", sim time="
+      << static_cast<double>(r.total_time) / kSecond << " s\n";
+  return out.str();
+}
+
+std::optional<std::string> DebugSession::bisect_flip(std::uint32_t byte_index,
+                                                     std::string* error) {
+  const auto fail = [&](const std::string& what) -> std::optional<std::string> {
+    if (error) *error = what;
+    return std::nullopt;
+  };
+  const crypto::TableCipher& cipher = campaign_->cipher();
+  if (byte_index >= cipher.table_size())
+    return fail("byte index out of range (table has " +
+                std::to_string(cipher.table_size()) + " bytes)");
+  const auto steer_layer = layer_of("steer");
+  if (!steer_layer)
+    return fail("the steer event has not executed yet; run-until steer first");
+
+  const std::uint8_t canonical = cipher.canonical_table()[byte_index];
+  const std::uint8_t live = cipher.live_bits(byte_index);
+  const attack::FlipRecord& chosen = reports_.front().chosen;
+  // Each probe replays from the post-steer layer with a partial hammer
+  // budget and reads the victim byte; restores are exact, so probes are
+  // independent and the search is deterministic.
+  const auto probe = [&](std::uint64_t iterations) {
+    timeline_->restore_only(*steer_layer);
+    campaign_->templater().hammer_aggressors(chosen, iterations);
+    return campaign_->victim().read_table()[byte_index];
+  };
+  const auto corrupted = [&](std::uint8_t value) {
+    return ((value ^ canonical) & live) != 0;
+  };
+
+  const std::uint64_t budget = campaign_cfg_.templating.hammer_iterations;
+  const std::uint8_t at_budget = probe(budget);
+  if (!corrupted(at_budget)) {
+    timeline_->restore_only(position_);
+    return fail("table byte " + std::to_string(byte_index) +
+                " keeps its canonical value " + hex_byte(canonical) +
+                " within the hammer budget of " + std::to_string(budget) +
+                " iterations");
+  }
+  // Monotone threshold crossing: below the weak cell's activation
+  // threshold nothing flips, above it the flip persists — binary-search
+  // the first corrupting iteration count.
+  std::uint64_t lo = 1;
+  std::uint64_t hi = budget;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (corrupted(probe(mid)))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  const std::uint8_t value = probe(lo);
+  timeline_->restore_only(position_);
+
+  std::ostringstream out;
+  out << "first corrupting event: hammer iteration " << lo << " of " << budget
+      << " flips table byte " << byte_index << " from " << hex_byte(canonical)
+      << " to " << hex_byte(value) << " (bits ";
+  bool first = true;
+  for (int b = 0; b < 8; ++b) {
+    if ((((value ^ canonical) & live) >> b) & 1) {
+      if (!first) out << ",";
+      out << b;
+      first = false;
+    }
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace explframe::scenario

@@ -1,0 +1,28 @@
+#include "snapshot/timeline.hpp"
+
+#include "support/check.hpp"
+
+namespace explframe::snap {
+
+std::size_t Timeline::push(std::string label) {
+  layers_.push_back(Layer{std::move(label), target_->snapshot()});
+  return layers_.size() - 1;
+}
+
+void Timeline::rewind_to(std::size_t index) {
+  EXPLFRAME_CHECK_MSG(index < layers_.size(), "rewind past end of timeline");
+  target_->restore(*layers_[index].state);
+  layers_.resize(index + 1);
+}
+
+void Timeline::restore_only(std::size_t index) const {
+  EXPLFRAME_CHECK_MSG(index < layers_.size(), "restore past end of timeline");
+  target_->restore(*layers_[index].state);
+}
+
+const std::string& Timeline::label(std::size_t index) const {
+  EXPLFRAME_CHECK_MSG(index < layers_.size(), "label past end of timeline");
+  return layers_[index].label;
+}
+
+}  // namespace explframe::snap

@@ -1,0 +1,57 @@
+// snap::Timeline — an ordered stack of labelled snapshot layers.
+//
+// The time-travel debugger's data structure: each layer is a named
+// checkpoint of one Restorable target ("post-template", "after plant",
+// "after hammer", ...). push() captures the target's current state as a
+// new top layer; rewind_to(i) restores layer i and drops every layer
+// above it, so the timeline always describes a single linear history.
+// Layers below the rewind point are untouched and can be rewound to
+// again — that is what makes `rewind` / `bisect-flip` cheap: the same
+// base layer is restored from as many times as the search needs.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "snapshot/restorable.hpp"
+
+namespace explframe::snap {
+
+/// Linear history of labelled snapshots of one Restorable.
+class Timeline {
+ public:
+  /// `target` must outlive the timeline.
+  explicit Timeline(Restorable& target) : target_(&target) {}
+
+  /// Capture the target's current state as the new top layer. Returns the
+  /// new layer's index.
+  std::size_t push(std::string label);
+
+  /// Restore layer `index` (CHECK: index < size()) and truncate the
+  /// timeline so `index` is the top layer again.
+  void rewind_to(std::size_t index);
+
+  /// Restore layer `index` without truncating — for searches that probe a
+  /// past state repeatedly and then rewind_to() once at the end.
+  void restore_only(std::size_t index) const;
+
+  /// Number of layers.
+  std::size_t size() const noexcept { return layers_.size(); }
+  /// Label of layer `index` (CHECK: index < size()).
+  const std::string& label(std::size_t index) const;
+
+ private:
+  /// One checkpoint: its display label and the captured state.
+  struct Layer {
+    std::string label;
+    std::unique_ptr<Snapshot> state;
+  };
+
+  Restorable* target_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace explframe::snap

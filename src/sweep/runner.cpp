@@ -8,10 +8,12 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
+#include "attack/campaign_runner.hpp"
 #include "scenario/report.hpp"
 #include "support/check.hpp"
 
@@ -352,37 +354,85 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
 
   const auto start = std::chrono::steady_clock::now();
   if (!pending.empty()) {
+    // Group points that share a templated base: same template-shaping
+    // fields (attack::template_key), same master seed, same trial count.
+    // A group templates once per trial and forks every member from the
+    // snapshot; sharing never changes a reported byte, only wall clock.
+    // With sharing off every point is its own group (the bench baseline).
+    std::vector<std::vector<std::size_t>> groups;
+    if (options.share_templates) {
+      std::map<std::string, std::size_t> group_index;
+      for (const std::size_t index : pending) {
+        const attack::RunnerConfig rc =
+            (*points)[index].scenario.runner_config();
+        const std::string key =
+            attack::template_key(rc.system, rc.campaign) +
+            "|seed=" + std::to_string(rc.seed) +
+            "|trials=" + std::to_string(rc.trials);
+        const auto [it, inserted] = group_index.emplace(key, groups.size());
+        if (inserted) groups.emplace_back();
+        groups[it->second].push_back(index);
+      }
+    } else {
+      for (const std::size_t index : pending) groups.push_back({index});
+    }
+
     std::uint32_t threads = options.threads;
     if (threads == 0) {
       threads = std::thread::hardware_concurrency();
       if (threads == 0) threads = 1;
     }
-    if (threads > pending.size())
-      threads = static_cast<std::uint32_t>(pending.size());
+    if (threads > groups.size())
+      threads = static_cast<std::uint32_t>(groups.size());
 
-    // Work stealing: each worker pulls the next unfinished point; a worker
-    // stuck on a slow point never blocks the rest of the grid.
+    // Work stealing: each worker pulls the next unfinished group; a worker
+    // stuck on a slow group never blocks the rest of the grid.
     std::atomic<std::size_t> next{0};
     const auto worker = [&] {
       while (true) {
         const std::size_t slot = next.fetch_add(1);
-        if (slot >= pending.size()) return;
-        const std::size_t index = pending[slot];
-        const SweepPoint& point = (*points)[index];
-        // One thread per point: the sweep parallelises across points, so
-        // the inner CampaignRunner runs its trials serially.
-        const scenario::ScenarioResult result =
-            scenario::run_scenario(point.scenario, /*threads_override=*/1);
-        PointRecord record;
-        record.index = index;
-        record.id = point.id;
-        for (const attack::CampaignReport& report : result.aggregate.reports)
-          record.trials.push_back(TrialRow::from_report(report));
+        if (slot >= groups.size()) return;
+        const std::vector<std::size_t>& group = groups[slot];
+        std::vector<PointRecord> done(group.size());
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          done[i].index = group[i];
+          done[i].id = (*points)[group[i]].id;
+        }
+        if (group.size() == 1) {
+          // One thread per point: the sweep parallelises across groups, so
+          // the inner CampaignRunner runs its trials serially.
+          const scenario::ScenarioResult result = scenario::run_scenario(
+              (*points)[group[0]].scenario, /*threads_override=*/1);
+          for (const attack::CampaignReport& report :
+               result.aggregate.reports)
+            done[0].trials.push_back(TrialRow::from_report(report));
+        } else {
+          // Shared-template group: one machine per trial, one templating
+          // pass, one snapshot fork per member point.
+          const attack::RunnerConfig base =
+              (*points)[group[0]].scenario.runner_config();
+          std::vector<attack::CampaignConfig> variants;
+          variants.reserve(group.size());
+          for (const std::size_t index : group)
+            variants.push_back(
+                (*points)[index].scenario.runner_config().campaign);
+          for (std::uint32_t trial = 0; trial < base.trials; ++trial) {
+            const std::vector<attack::CampaignReport> reports =
+                attack::CampaignRunner::run_trial_group(base, variants,
+                                                        trial);
+            for (std::size_t i = 0; i < group.size(); ++i)
+              done[i].trials.push_back(TrialRow::from_report(reports[i]));
+          }
+        }
 
         const std::lock_guard<std::mutex> lock(mutex);
-        writer.append(record);
-        slots[index] = std::move(record);
-        if (options.on_point) options.on_point(point, *slots[index], false);
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          const std::size_t index = group[i];
+          writer.append(done[i]);
+          slots[index] = std::move(done[i]);
+          if (options.on_point)
+            options.on_point((*points)[index], *slots[index], false);
+        }
       }
     };
     std::vector<std::thread> pool;

@@ -1,12 +1,17 @@
 // sweep::SweepRunner — executes an expanded sweep grid across a worker
 // pool, with a crash-safe checkpoint so interrupted sweeps resume.
 //
-// Execution model: the expanded points form a shared work queue; each
-// worker thread repeatedly steals the next unfinished point and runs it
-// through scenario::run_scenario (CampaignRunner) single-threaded. Results
+// Execution model: the expanded points form a shared work queue of
+// *groups* — points whose (attack::template_key, master seed, trial
+// count) coincide share one templated machine state, so each trial of a
+// group templates once and every member forks from the snapshot
+// (CampaignRunner::run_trial_group). Points that share with nobody run
+// through scenario::run_scenario exactly as before. Each worker thread
+// steals the next unfinished group and runs it single-threaded. Results
 // are keyed by point index, so the aggregate is bit-identical regardless
-// of thread count or completion order — parallelism changes only the wall
-// clock, exactly like CampaignRunner's own guarantee one level down.
+// of thread count, grouping or completion order — sharing and parallelism
+// change only the wall clock, exactly like CampaignRunner's own guarantee
+// one level down.
 //
 // Checkpoint contract: when a checkpoint path is configured, every
 // completed point is appended to the file as one self-contained record
@@ -102,6 +107,12 @@ struct SweepRunOptions {
   /// Delete the checkpoint after the last point completes (a finished
   /// sweep has nothing left to resume).
   bool remove_checkpoint_on_success = true;
+  /// Group grid points that agree on every template-shaping field plus
+  /// master seed and trial count, templating once per (group, trial) and
+  /// forking each member from the snapshot. Byte-identical either way
+  /// (forked reports equal fresh ones); false is the differential escape
+  /// hatch and the bench baseline.
+  bool share_templates = true;
   /// Progress hook, called under a lock in completion order.
   /// `resumed` marks points served from the checkpoint.
   std::function<void(const SweepPoint&, const PointRecord&, bool resumed)>

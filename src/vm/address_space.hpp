@@ -61,6 +61,28 @@ class AddressSpace {
   /// Release every mapped page (process exit).
   void release_all(const std::function<void(mm::Pfn)>& release);
 
+  /// Snapshot of the complete address-space state. Restoring the mmap
+  /// cursor is what makes post-restore mmap() return exactly the addresses
+  /// a fresh run would have — forked trials see identical VAs.
+  struct Image {
+    std::map<VirtAddr, Vma> vmas;
+    PageTable::TableImage table;
+    VirtAddr mmap_cursor = kMmapBase;
+    VmCounters counters;
+  };
+
+  /// Capture the full state for a snapshot.
+  Image capture_image() const {
+    return {vmas_, table_.capture_image(), mmap_cursor_, counters_};
+  }
+  /// Restore a previously captured image exactly.
+  void restore_image(const Image& image) {
+    vmas_ = image.vmas;
+    table_.restore_image(image.table);
+    mmap_cursor_ = image.mmap_cursor;
+    counters_ = image.counters;
+  }
+
  private:
   std::map<VirtAddr, Vma> vmas_;  ///< Keyed by start address.
   PageTable table_;

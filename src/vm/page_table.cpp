@@ -160,4 +160,60 @@ void PageTable::for_each(
   for_each_rec(*root_, kLevels - 1, 0, fn);
 }
 
+void PageTable::capture_nodes(const Node& node, std::uint32_t level,
+                              VirtAddr base,
+                              std::vector<NodeImage>* out) const {
+  out->push_back(NodeImage{level, base, node.frame});
+  if (level == 0) return;
+  const std::uint32_t shift =
+      static_cast<std::uint32_t>(kPageShift) + kLevelBits * level;
+  for (std::uint32_t i = 0; i < kFanout; ++i)
+    if (node.children[i])
+      capture_nodes(*node.children[i], level - 1,
+                    base + (static_cast<VirtAddr>(i) << shift), out);
+}
+
+PageTable::TableImage PageTable::capture_image() const {
+  TableImage image;
+  capture_nodes(*root_, kLevels - 1, 0, &image.nodes);
+  for_each([&](VirtAddr va, const Pte& pte) {
+    image.ptes.emplace_back(va, pte);
+  });
+  return image;
+}
+
+void PageTable::restore_image(const TableImage& image) {
+  EXPLFRAME_CHECK_MSG(!image.nodes.empty() &&
+                          image.nodes.front().level == kLevels - 1,
+                      "malformed table image");
+  // See the header comment: destroying the live tree frees no frames, and
+  // the node frames recorded in the image are reinstalled verbatim.
+  root_ = std::make_unique<Node>();
+  root_->frame = image.nodes.front().frame;
+  for (std::size_t i = 1; i < image.nodes.size(); ++i) {
+    const NodeImage& n = image.nodes[i];
+    // Pre-order guarantees the parent chain already exists; walk down to
+    // the parent (level n.level + 1) and hang the new node off it.
+    Node* parent = root_.get();
+    for (std::uint32_t level = kLevels - 1; level > n.level + 1; --level)
+      parent = parent->children[index_at(n.base, level)].get();
+    const std::uint32_t slot = index_at(n.base, n.level + 1);
+    auto node = std::make_unique<Node>();
+    node->frame = n.frame;
+    parent->children[slot] = std::move(node);
+    ++parent->used;
+  }
+  for (const auto& [va, pte] : image.ptes) {
+    Node* node = root_.get();
+    for (std::uint32_t level = kLevels - 1; level >= 1; --level)
+      node = node->children[index_at(va, level)].get();
+    const std::uint32_t slot = index_at(va, 0);
+    node->ptes[slot] = pte;
+    node->present[slot] = true;
+    ++node->used;
+  }
+  nodes_ = image.nodes.size();
+  mapped_ = image.ptes.size();
+}
+
 }  // namespace explframe::vm

@@ -13,6 +13,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "mm/page.hpp"
 #include "support/units.hpp"
@@ -72,6 +74,30 @@ class PageTable {
   /// Walk all mappings in ascending vaddr order.
   void for_each(const std::function<void(VirtAddr, const Pte&)>& fn) const;
 
+  /// One table node in a snapshot: its level (kLevels-1 = root, 0 = leaf),
+  /// the base virtual address of the region it covers, and the physical
+  /// frame charged to it.
+  struct NodeImage {
+    std::uint32_t level = 0;
+    VirtAddr base = 0;
+    mm::Pfn frame = mm::kInvalidPfn;
+  };
+  /// Complete structural snapshot: every node in pre-order (parents before
+  /// children, front() = root) plus every installed PTE in vaddr order.
+  struct TableImage {
+    std::vector<NodeImage> nodes;
+    std::vector<std::pair<VirtAddr, Pte>> ptes;
+  };
+
+  /// Capture the table structure and mappings for a snapshot.
+  TableImage capture_image() const;
+  /// Rebuild the table from a captured image. Never calls the FrameClient:
+  /// node frames come from the image, and the page allocator restored
+  /// alongside already accounts those frames as allocated. (Plain node
+  /// destruction frees no frames either — only unmap/release do — so
+  /// dropping the current tree leaves the allocator untouched.)
+  void restore_image(const TableImage& image);
+
  private:
   struct Node;
   struct Entry;
@@ -81,6 +107,8 @@ class PageTable {
   void release_node(Node* node);
   void for_each_rec(const Node& node, std::uint32_t level, VirtAddr base,
                     const std::function<void(VirtAddr, const Pte&)>& fn) const;
+  void capture_nodes(const Node& node, std::uint32_t level, VirtAddr base,
+                     std::vector<NodeImage>* out) const;
 
   FrameClient client_;
   std::unique_ptr<Node> root_;

@@ -1,0 +1,165 @@
+// Property/fuzz tests for every text format the tools ingest: KvFile,
+// scenario `.scn`, sweep `.sweep` and checkpoint PointRecord lines.
+//
+// The contract under random mutation (substitute / insert / delete /
+// truncate over valid seed documents, plus raw byte soup): a parser either
+// succeeds or returns nullopt with a non-empty error — it never crashes,
+// CHECK-fails or loops — and whatever it accepts must survive the
+// serialize -> parse round trip unchanged (the canonical-form guarantee
+// the handbook and checkpoint machinery rely on).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/scenario.hpp"
+#include "support/config.hpp"
+#include "support/rng.hpp"
+#include "sweep/registry.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+
+namespace explframe {
+namespace {
+
+constexpr int kMutationsPerSeed = 400;
+
+/// One random edit: substitute, insert or delete a byte, or truncate.
+/// Printable-heavy alphabet plus format metacharacters so mutations hit
+/// parser states, not just "bad byte" rejections.
+std::string mutate(const std::string& base, Rng& rng) {
+  static const char alphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789 =_.-,;#\n\t";
+  std::string out = base;
+  const std::uint64_t kind = rng.uniform(4);
+  if (out.empty() || kind == 0) {
+    out.insert(out.begin() + static_cast<std::ptrdiff_t>(
+                                 rng.uniform(out.size() + 1)),
+               alphabet[rng.uniform(sizeof(alphabet) - 1)]);
+  } else if (kind == 1) {
+    out[rng.uniform(out.size())] = alphabet[rng.uniform(sizeof(alphabet) - 1)];
+  } else if (kind == 2) {
+    out.erase(out.begin() + static_cast<std::ptrdiff_t>(
+                                rng.uniform(out.size())));
+  } else {
+    out.resize(rng.uniform(out.size() + 1));
+  }
+  return out;
+}
+
+/// A couple of stacked edits so mutations compound.
+std::string mutate_some(const std::string& base, Rng& rng) {
+  std::string out = base;
+  const std::uint64_t edits = 1 + rng.uniform(4);
+  for (std::uint64_t i = 0; i < edits; ++i) out = mutate(out, rng);
+  return out;
+}
+
+TEST(ParserFuzz, KvFileNeverCrashesAndRoundTrips) {
+  Rng rng(0x5eed0001);
+  const std::string seed_doc =
+      "# comment\nname = value\ncount = 12\nflag = true\n";
+  for (int i = 0; i < kMutationsPerSeed; ++i) {
+    const std::string text = mutate_some(seed_doc, rng);
+    std::string error;
+    const auto kv = KvFile::parse(text, &error);
+    if (!kv) {
+      EXPECT_FALSE(error.empty()) << "silent failure on: " << text;
+      continue;
+    }
+    // Accepted documents are closed under serialize -> parse.
+    const auto again = KvFile::parse(kv->serialize(), &error);
+    ASSERT_TRUE(again.has_value()) << error;
+    EXPECT_EQ(again->serialize(), kv->serialize());
+  }
+}
+
+TEST(ParserFuzz, ScenarioScnNeverCrashesAndRoundTrips) {
+  Rng rng(0x5eed0002);
+  for (const scenario::Scenario& s : scenario::Registry::builtin().all()) {
+    const std::string seed_doc = s.to_scn();
+    for (int i = 0; i < kMutationsPerSeed; ++i) {
+      const std::string text = mutate_some(seed_doc, rng);
+      std::string error;
+      const auto parsed = scenario::Scenario::from_scn(text, &error);
+      if (!parsed) {
+        EXPECT_FALSE(error.empty()) << "silent failure on: " << text;
+        continue;
+      }
+      const auto again = scenario::Scenario::from_scn(parsed->to_scn(), &error);
+      ASSERT_TRUE(again.has_value()) << error;
+      EXPECT_EQ(*again, *parsed);
+    }
+  }
+}
+
+TEST(ParserFuzz, SweepSpecNeverCrashesAndRoundTrips) {
+  Rng rng(0x5eed0003);
+  for (const sweep::SweepSpec& spec : sweep::Registry::builtin().all()) {
+    const std::string seed_doc = spec.to_sweep();
+    for (int i = 0; i < kMutationsPerSeed; ++i) {
+      const std::string text = mutate_some(seed_doc, rng);
+      std::string error;
+      const auto parsed = sweep::SweepSpec::from_sweep(text, &error);
+      if (!parsed) {
+        EXPECT_FALSE(error.empty()) << "silent failure on: " << text;
+        continue;
+      }
+      const auto again =
+          sweep::SweepSpec::from_sweep(parsed->to_sweep(), &error);
+      ASSERT_TRUE(again.has_value()) << error;
+      EXPECT_EQ(*again, *parsed);
+    }
+  }
+}
+
+TEST(ParserFuzz, CheckpointRecordNeverCrashesAndRoundTrips) {
+  Rng rng(0x5eed0004);
+  sweep::TrialRow row;
+  row.template_found = true;
+  row.rows_scanned = 321;
+  row.flips_found = 4;
+  row.steered = true;
+  row.fault_injected = true;
+  row.key_recovered = true;
+  row.ciphertexts_used = 1700;
+  row.success = true;
+  row.failure_stage = "none";
+  row.total_time = 123456789;
+  sweep::PointRecord record;
+  record.index = 7;
+  record.id = "defence=trr,weak_cells=dense";
+  record.trials = {row, row};
+  const std::string seed_line = record.serialize();
+  for (int i = 0; i < kMutationsPerSeed; ++i) {
+    const std::string line = mutate_some(seed_line, rng);
+    std::string error;
+    const auto parsed = sweep::PointRecord::parse(line, &error);
+    if (!parsed) {
+      EXPECT_FALSE(error.empty()) << "silent failure on: " << line;
+      continue;
+    }
+    const auto again = sweep::PointRecord::parse(parsed->serialize(), &error);
+    ASSERT_TRUE(again.has_value()) << error;
+    EXPECT_EQ(*again, *parsed);
+  }
+}
+
+TEST(ParserFuzz, RawByteSoupIsRejectedOrParsedNeverFatal) {
+  Rng rng(0x5eed0005);
+  for (int i = 0; i < kMutationsPerSeed; ++i) {
+    std::string soup(rng.uniform(200), '\0');
+    for (char& c : soup) c = static_cast<char>(rng.uniform(256));
+    std::string error;
+    (void)KvFile::parse(soup, &error);
+    (void)scenario::Scenario::from_scn(soup, &error);
+    (void)sweep::SweepSpec::from_sweep(soup, &error);
+    (void)sweep::PointRecord::parse(soup, &error);
+  }
+  SUCCEED();  // Surviving without a crash IS the property.
+}
+
+}  // namespace
+}  // namespace explframe

@@ -10,6 +10,9 @@
 # Registration sites are the single source of truth:
 #   src/scenario/registry.cpp  (Scenario entries, `s.name = "<name>";`)
 #   src/sweep/registry.cpp     (SweepSpec literals, `name = <name>`)
+#
+# The time-travel debugger (`explsim debug`) is covered the same way:
+# every REPL command must be documented (backquoted) in the handbook.
 set -u
 
 cd "$(dirname "$0")/.." || exit 2
@@ -33,10 +36,22 @@ for name in $scenarios $sweeps; do
   fi
 done
 
+# Debugger coverage: `explsim debug` and each REPL command must appear
+# backquoted in the handbook's time-travel chapter.
+debug_cmds="debug step run-until rewind bisect-flip status"
+for cmd in $debug_cmds; do
+  if ! grep -q "\`$cmd" docs/HANDBOOK.md; then
+    echo "docs/HANDBOOK.md: error: debugger command '$cmd' is not" \
+         "documented in the time-travel chapter" >&2
+    status=1
+  fi
+done
+
 if [ "$status" -ne 0 ]; then
   echo "handbook lint failed (add the entries above to docs/HANDBOOK.md)" >&2
 else
   echo "handbook lint: OK ($(echo "$scenarios" | wc -l) scenarios," \
-       "$(echo "$sweeps" | wc -l) sweeps covered)"
+       "$(echo "$sweeps" | wc -l) sweeps," \
+       "$(echo "$debug_cmds" | wc -w) debugger commands covered)"
 fi
 exit $status

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "scenario/debug.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/report.hpp"
 #include "support/table.hpp"
@@ -63,6 +64,11 @@ int usage(std::ostream& os, int code) {
         "      [--check]             write nothing; fail on any byte of\n"
         "                            drift vs the checked-in reports\n"
         "      [--threads=N]         worker threads (wall-clock only)\n"
+        "  debug <name|file.scn>     time-travel debugger: replay one trial\n"
+        "                            event by event over machine snapshots\n"
+        "      [--trial=N]           trial to reproduce (default 0)\n"
+        "      REPL: step [n] | run-until <event> | rewind [n] |\n"
+        "            bisect-flip <byte> | status | events | help | quit\n"
         "\n"
         "sweep commands (multi-dimensional scenario grids):\n"
         "  sweep list                list registered sweeps\n"
@@ -193,7 +199,10 @@ void print_summary(const ScenarioResult& result) {
   if (agg.ciphertexts_used.count() > 0)
     std::cout << "; mean ciphertexts to key: " << agg.ciphertexts_used.mean();
   std::cout << "; mean simulated attack s: " << agg.sim_seconds.mean()
-            << "\nwall clock: " << agg.wall_seconds << " s ("
+            << "\nmean simulated templating s: "
+            << agg.template_sim_seconds.mean() << " ("
+            << agg.template_wall_seconds << " host s total)\n"
+            << "wall clock: " << agg.wall_seconds << " s ("
             << agg.trials_per_second() << " trials/sec)\n";
 }
 
@@ -213,6 +222,84 @@ int cmd_run(const std::string& operand, std::uint32_t threads,
       return 1;
     }
     std::cout << "wrote " << md << " and " << csv << "\n";
+  }
+  return 0;
+}
+
+/// The `explsim debug` REPL over one scenario::DebugSession. Reads
+/// commands from stdin until quit/EOF; every mutation prints where the
+/// session now stands.
+int cmd_debug(const std::string& operand, std::uint32_t trial) {
+  const auto s = resolve_scenario(operand);
+  if (!s) return 1;
+  std::cout << "templating trial " << trial << " of " << s->name << "...\n";
+  DebugSession session(*s, trial);
+  std::cout << session.status();
+  if (!session.template_found()) return 0;
+  std::cout << "commands: step [n] | run-until <event> | rewind [n] | "
+               "bisect-flip <byte> | status | events | help | quit\n";
+
+  std::string line;
+  while (std::cout << "(explsim) " << std::flush &&
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    std::string error;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit" || cmd == "q") break;
+    if (cmd == "help") {
+      std::cout << "  step [n]           execute the next n events "
+                   "(default 1)\n"
+                   "  run-until <event>  execute up to and including "
+                   "<event>\n"
+                   "  rewind [n]         undo the last n events (snapshot "
+                   "restore, default 1)\n"
+                   "  bisect-flip <byte> first hammer iteration corrupting "
+                   "that table byte\n"
+                   "  status             position and report so far\n"
+                   "  events             the event list\n"
+                   "  quit               leave the debugger\n";
+    } else if (cmd == "status") {
+      std::cout << session.status();
+    } else if (cmd == "events") {
+      for (std::size_t i = 0; i < session.events().size(); ++i)
+        std::cout << "  [" << (i < session.position() ? 'x' : ' ') << "] "
+                  << session.events()[i] << "\n";
+    } else if (cmd == "step") {
+      std::uint64_t n = 1;
+      in >> n;
+      for (std::uint64_t i = 0; i < n && !session.done(); ++i)
+        std::cout << session.step() << "\n";
+      if (session.done()) std::cout << "(end of trial)\n";
+    } else if (cmd == "run-until") {
+      std::string event;
+      in >> event;
+      if (!session.run_until(event, &error))
+        std::cout << "error: " << error << "\n";
+      else
+        std::cout << session.status();
+    } else if (cmd == "rewind") {
+      std::uint64_t n = 1;
+      in >> n;
+      if (!session.rewind(n, &error))
+        std::cout << "error: " << error << "\n";
+      else
+        std::cout << "rewound to " << session.position() << "/"
+                  << session.events().size() << " events executed\n";
+    } else if (cmd == "bisect-flip") {
+      std::uint32_t byte_index = 0;
+      if (!(in >> byte_index)) {
+        std::cout << "usage: bisect-flip <byte-index>\n";
+        continue;
+      }
+      if (const auto found = session.bisect_flip(byte_index, &error))
+        std::cout << *found << "\n";
+      else
+        std::cout << "error: " << error << "\n";
+    } else {
+      std::cout << "unknown command '" << cmd << "' (try: help)\n";
+    }
   }
   return 0;
 }
@@ -418,6 +505,7 @@ int main(int argc, char** argv) {
   bool check = false;
   bool resume = false;
   std::uint32_t threads = 0;
+  std::uint32_t trial = 0;
   std::string out_dir;
   std::string checkpoint;
   for (int i = first_option; i < argc; ++i) {
@@ -440,6 +528,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       threads = static_cast<std::uint32_t>(parsed);
+    } else if (arg.rfind("--trial=", 0) == 0) {
+      const std::string value = arg.substr(std::strlen("--trial="));
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || parsed > 1'000'000) {
+        std::cerr << "explsim: bad --trial value '" << value << "'\n";
+        return 2;
+      }
+      trial = static_cast<std::uint32_t>(parsed);
     } else if (arg.rfind("--out=", 0) == 0) {
       out_dir = arg.substr(std::strlen("--out="));
     } else if (arg.rfind("--checkpoint=", 0) == 0) {
@@ -470,6 +567,8 @@ int main(int argc, char** argv) {
     return cmd_describe(operands[0], scn_only);
   if (command == "run" && operands.size() == 1)
     return cmd_run(operands[0], threads, out_dir);
+  if (command == "debug" && operands.size() == 1)
+    return cmd_debug(operands[0], trial);
   if (command == "all" && operands.empty())
     return cmd_all(out_dir.empty() ? "docs/results" : out_dir, check,
                    threads);

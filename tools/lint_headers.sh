@@ -2,8 +2,8 @@
 # Header-documentation lint, warnings-as-errors (run by CI).
 #
 # For every public header in the documented layers (src/attack/,
-# src/scenario/, src/sweep/, src/support/ and crypto's TableCipher seam)
-# enforce:
+# src/scenario/, src/snapshot/, src/sweep/, src/support/ and crypto's
+# TableCipher seam) enforce:
 #
 #   (a) the file starts with a file-level '//' comment block on line 1;
 #   (b) every class / struct / enum *definition* is immediately preceded
@@ -19,8 +19,8 @@ set -u
 cd "$(dirname "$0")/.." || exit 2
 
 status=0
-for f in src/attack/*.hpp src/scenario/*.hpp src/sweep/*.hpp \
-         src/support/*.hpp src/crypto/table_cipher.hpp; do
+for f in src/attack/*.hpp src/scenario/*.hpp src/snapshot/*.hpp \
+         src/sweep/*.hpp src/support/*.hpp src/crypto/table_cipher.hpp; do
   [ -f "$f" ] || continue
   awk -v file="$f" '
     NR == 1 && $0 !~ /^\/\// {
