@@ -84,6 +84,7 @@ TemplatedCampaign::TemplatedCampaign(kernel::System& system,
   cipher_ = &cipher;
   partial_.cipher = config.cipher;
   start_ = system.now();
+  // determinism: allow(steady-clock) template_wall_seconds diagnostic, never emitted
   const auto wall_start = std::chrono::steady_clock::now();
 
   // Independent per-component sub-seeds: trials that differ only in the
@@ -149,6 +150,7 @@ TemplatedCampaign::TemplatedCampaign(kernel::System& system,
   }
   template_time_ = system.now() - start_;
   template_wall_ = std::chrono::duration<double>(
+                       // determinism: allow(steady-clock) template_wall_seconds diagnostic, never emitted
                        std::chrono::steady_clock::now() - wall_start)
                        .count();
   // A failed templating run has no post-template phases to fork into; the

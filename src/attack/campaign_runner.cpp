@@ -83,6 +83,7 @@ CampaignAggregate CampaignRunner::run() {
   const std::uint32_t workers =
       std::clamp<std::uint32_t>(config_.threads, 1u, config_.trials);
 
+  // determinism: allow(steady-clock) aggregate wall_seconds diagnostic, never emitted
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<CampaignReport> reports(config_.trials);
   std::atomic<std::uint32_t> next{0};
@@ -101,6 +102,7 @@ CampaignAggregate CampaignRunner::run() {
     for (std::thread& t : pool) t.join();
   }
   const std::chrono::duration<double> wall =
+      // determinism: allow(steady-clock) aggregate wall_seconds diagnostic, never emitted
       std::chrono::steady_clock::now() - wall_start;
 
   // Aggregate serially, in trial order, so the aggregate is independent of

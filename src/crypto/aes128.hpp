@@ -19,6 +19,9 @@
 
 namespace explframe::crypto {
 
+/// Reference AES-128: textbook byte-oriented rounds over the canonical
+/// S-box. The ground-truth implementation every faulted/table variant is
+/// differential-tested against.
 class Aes128 {
  public:
   using Block = std::array<std::uint8_t, 16>;

@@ -24,6 +24,9 @@
 
 namespace explframe::crypto {
 
+/// Hardware AES-128 kernel (AES-NI + SSSE3), runtime-dispatched: encrypts
+/// through aesenc with a SIMD ShiftRows/MixColumns correction layer for
+/// the single-byte S-box fault model. Batch workhorse of encrypt_batch.
 class Aes128Ni {
  public:
   /// True when the CPU supports the required ISA (AES-NI + SSSE3); the

@@ -17,6 +17,9 @@
 
 namespace explframe::crypto {
 
+/// T-table AES-128: the lookup-table implementation the paper attacks —
+/// round transforms folded into four 1 KiB tables whose entries live in
+/// DRAM and can be flipped by Rowhammer.
 class Aes128T {
  public:
   using Block = Aes128::Block;

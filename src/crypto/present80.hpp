@@ -13,6 +13,9 @@
 
 namespace explframe::crypto {
 
+/// PRESENT-80 ultra-lightweight block cipher (64-bit block, 31 rounds),
+/// with the 16-byte packed S-box table variant targeted by the PRESENT
+/// persistent-fault campaign.
 class Present80 {
  public:
   using Block = std::uint64_t;

@@ -17,6 +17,8 @@
 
 namespace explframe::dram {
 
+/// Physical-address-to-DRAM-coordinate scheme: linear row-major or the
+/// XOR bank hash real controllers use to spread row hits.
 enum class MappingScheme {
   kRowMajor,
   kBankXor,

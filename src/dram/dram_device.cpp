@@ -30,9 +30,9 @@ DramDevice::DramDevice(const Geometry& geometry, const DeviceParams& params,
       params_(params),
       mapping_(geometry, params.mapping),
       weak_cells_(geometry, params.weak_cells, seed),
+      zero_row_(std::make_unique<std::uint8_t[]>(geometry.row_bytes)),
       open_row_(geometry.total_banks(), -1),
       weak_row_(geometry.total_rows(), 0),
-      zero_row_(std::make_unique<std::uint8_t[]>(geometry.row_bytes)),
       next_refresh_(params.timings.refresh_window_ns) {
   std::memset(zero_row_.get(), 0, geometry_.row_bytes);
   for (const std::uint64_t r : weak_cells_.vulnerable_rows()) weak_row_[r] = 1;

@@ -46,6 +46,9 @@ struct EccParams {
   bool enabled = false;
 };
 
+/// Everything configurable about the simulated module: timings, weak-cell
+/// population, address mapping, data-pattern coupling and the TRR/ECC
+/// mitigations.
 struct DeviceParams {
   DramTimings timings;
   WeakCellParams weak_cells;
@@ -67,6 +70,11 @@ struct FlipEvent {
   SimTime time = 0;        ///< Device clock at flip.
 };
 
+/// The simulated DRAM module: row storage (CoW, lazily allocated),
+/// row-buffer and refresh bookkeeping, disturbance accumulation with
+/// closed-form burst fast path, TRR sampling and SECDED ECC filtering.
+/// Every stored byte and flip event is deterministic in (geometry,
+/// params, seed).
 class DramDevice {
  public:
   DramDevice(const Geometry& geometry, const DeviceParams& params,

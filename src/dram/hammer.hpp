@@ -11,6 +11,8 @@
 
 namespace explframe::dram {
 
+/// Outcome of one (single- or double-sided) hammer run: flips induced,
+/// refresh/TRR interventions seen, and simulated time spent.
 struct HammerResult {
   /// False: the requested aggressor rows do not exist (e.g. a neighbour of
   /// an edge row) and nothing was hammered. Callers must not read an

@@ -31,6 +31,8 @@ struct WeakCell {
   float couple_below = 1.0F;  ///< Coupling to row+1 (the row below).
 };
 
+/// Statistical model of the module's Rowhammer-vulnerable cell
+/// population: density, threshold distribution and polarity mix.
 struct WeakCellParams {
   /// Expected weak cells per MiB of DRAM. Kim'14 observed 0.05 - 10^4 errors
   /// per 2^30 cells depending on module; the default (4/MiB ~ 4096/GiB)

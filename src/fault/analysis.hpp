@@ -19,6 +19,8 @@
 
 namespace explframe::fault {
 
+/// Which key-recovery statistic a campaign runs over harvested
+/// ciphertexts.
 enum class AnalysisKind {
   kPfaMissingValue,   ///< Persistent fault, missing-value statistic.
   kPfaMaxLikelihood,  ///< Persistent fault, frequency-peak statistic
@@ -43,6 +45,9 @@ struct FaultModel {
 FaultModel fault_model_for(const crypto::TableCipher& cipher,
                            std::size_t index, std::uint8_t bit) noexcept;
 
+/// Cipher-generic key-recovery interface: feed harvested ciphertexts,
+/// ask whether the key is pinned. Adapters wrap AesPfa/PresentPfa/AesDfa
+/// behind one seam so campaigns stay cipher-agnostic.
 class Analysis {
  public:
   virtual ~Analysis() = default;

@@ -24,6 +24,9 @@
 
 namespace explframe::fault {
 
+/// Differential fault analysis on AES-128: correct/faulty ciphertext
+/// pairs under a known single-byte round-9 fault narrow the last round
+/// key column by column.
 class AesDfa {
  public:
   using Block = crypto::Aes128::Block;

@@ -24,6 +24,7 @@
 
 namespace explframe::fault {
 
+/// The two persistent-fault statistics the paper evaluates for AES.
 enum class PfaStrategy {
   kMissingValue,   ///< Exact once all 256 values would otherwise be seen
                    ///< (~2.3K ciphertexts; the standard PFA statistic).
@@ -34,6 +35,10 @@ enum class PfaStrategy {
 
 const char* to_string(PfaStrategy strategy) noexcept;
 
+/// Persistent fault analysis on AES-128: a faulted S-box entry skews the
+/// last-round byte distribution; missing-value (or frequency-peak)
+/// tallies over ciphertexts recover the last round key. Tallies are
+/// incremental so batch harvests stay O(bytes), not O(rescans).
 class AesPfa {
  public:
   using Block = crypto::Aes128::Block;

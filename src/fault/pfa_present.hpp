@@ -22,6 +22,9 @@
 
 namespace explframe::fault {
 
+/// Persistent fault analysis on PRESENT-80: missing-nibble statistics
+/// over the final round recover 64 round-key bits, and the remaining
+/// 16 bits fall to the residual key-schedule search.
 class PresentPfa {
  public:
   PresentPfa() noexcept { reset(); }

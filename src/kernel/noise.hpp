@@ -12,6 +12,8 @@
 
 namespace explframe::kernel {
 
+/// Shape of the background allocator noise a co-tenant workload makes:
+/// region sizes, alloc/release bias, live-region cap.
 struct NoiseConfig {
   std::uint32_t min_pages = 1;
   std::uint32_t max_pages = 8;
@@ -21,6 +23,9 @@ struct NoiseConfig {
   std::uint32_t max_live_regions = 64;
 };
 
+/// Deterministic co-tenant memory churn: a seeded stream of mmap+touch /
+/// munmap operations that stirs the page frame caches the way a noisy
+/// neighbour would, without breaking replay.
 class NoiseWorkload {
  public:
   NoiseWorkload(System& system, Task& task, const NoiseConfig& config,
@@ -35,6 +40,7 @@ class NoiseWorkload {
   std::uint64_t pages_released() const noexcept { return pages_released_; }
 
  private:
+  /// One live mmap'd region (base address + length in pages).
   struct Region {
     vm::VirtAddr va;
     std::uint32_t pages;

@@ -10,6 +10,9 @@
 
 namespace explframe::kernel {
 
+/// Minimal per-CPU run-queue model: enough scheduling state to place
+/// attacker and victim tasks on CPUs (the paper's co-residency
+/// requirement) and rotate runnable tasks deterministically.
 class Scheduler {
  public:
   explicit Scheduler(std::uint32_t num_cpus) : queues_(num_cpus) {}

@@ -105,6 +105,18 @@ System::System(const SystemConfig& config) : config_(config) {
   alloc_ = std::make_unique<mm::PageAllocator>(ac);
 }
 
+System::~System() {
+  // Same discipline as restore(): move each task out of tasks_ before its
+  // destructor runs, newest first. The FrameClient free hook a dying
+  // ~PageTable fires walks tasks_ via find_task(), so the vector must only
+  // ever hold live tasks while any destructor is in flight (the implicit
+  // member destruction order would hand it half-destroyed entries).
+  while (!tasks_.empty()) {
+    std::unique_ptr<Task> dying = std::move(tasks_.back());
+    tasks_.pop_back();
+  }
+}
+
 vm::FrameClient System::table_frame_client(std::int32_t task_id,
                                            std::uint32_t spawn_cpu) {
   if (!config_.charge_page_tables) return {};
@@ -141,7 +153,7 @@ Task& System::spawn(const std::string& name, std::uint32_t cpu) {
 
 Task* System::find_task(std::int32_t id) {
   for (auto& t : tasks_)
-    if (t->id() == id && t->state() != TaskState::kExited) return t.get();
+    if (t && t->id() == id && t->state() != TaskState::kExited) return t.get();
   return nullptr;
 }
 

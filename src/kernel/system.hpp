@@ -23,6 +23,8 @@
 
 namespace explframe::kernel {
 
+/// Machine shape: memory size, CPUs, DRAM module parameters, allocator
+/// tuning and the master seed everything deterministic derives from.
 struct SystemConfig {
   std::uint64_t memory_bytes = 256 * kMiB;
   std::uint32_t num_cpus = 2;
@@ -35,15 +37,25 @@ struct SystemConfig {
   bool charge_page_tables = true;
 };
 
+/// Kernel-side event counters (faults, OOM kills, charged table frames).
 struct SystemStats {
   std::uint64_t page_faults = 0;
   std::uint64_t oom_kills = 0;
   std::uint64_t table_frames = 0;
 };
 
+/// The simulated machine: DRAM device + zoned page allocator + tasks,
+/// exposing the syscall-level surface (mmap/munmap/mem access/pagemap),
+/// the uncached hammer path, and exact snapshot/restore of the whole
+/// state (snap::Restorable).
 class System : public snap::Restorable {
  public:
   explicit System(const SystemConfig& config);
+  /// Tears tasks down LIFO with tasks_ kept consistent throughout: a dying
+  /// task's ~PageTable releases node frames through a FrameClient that calls
+  /// find_task(), so the implicit vector destruction (which iterates a
+  /// half-destroyed tasks_) would be undefined behaviour.
+  ~System() override;
 
   System(const System&) = delete;
   System& operator=(const System&) = delete;

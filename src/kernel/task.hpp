@@ -9,6 +9,8 @@
 
 namespace explframe::kernel {
 
+/// Lifecycle of a simulated process; kExited tasks keep their slot (ids
+/// are never reused while the System lives) but own no pages.
 enum class TaskState : std::uint8_t { kRunnable, kSleeping, kExited };
 
 const char* to_string(TaskState state) noexcept;

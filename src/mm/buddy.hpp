@@ -16,6 +16,8 @@
 
 namespace explframe::mm {
 
+/// Counters of buddy-allocator activity (split/coalesce totals drive the
+/// Fig. 1 reproduction).
 struct BuddyStats {
   std::uint64_t allocs = 0;
   std::uint64_t frees = 0;
@@ -32,6 +34,9 @@ struct SplitTraceEntry {
   std::uint32_t to_order = 0;
 };
 
+/// Binary buddy allocator over one zone's pfn range: power-of-two block
+/// split/coalesce exactly as Linux mm/page_alloc.c models it, with the
+/// split-trace hook the templating story reads.
 class BuddyAllocator {
  public:
   /// Manages pfns [start_pfn, start_pfn + pages). `pages` need not be a

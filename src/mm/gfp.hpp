@@ -6,6 +6,8 @@
 
 namespace explframe::mm {
 
+/// Zone fallback chain an allocation walks, mirroring Linux GFP zone
+/// modifiers.
 enum class GfpZonePreference : std::uint8_t {
   kNormal,    ///< GFP_KERNEL: NORMAL -> (DMA32) -> DMA; never HIGHMEM.
   kHighUser,  ///< GFP_HIGHUSER: user pages; on 32-bit starts at HIGHMEM,
@@ -14,6 +16,8 @@ enum class GfpZonePreference : std::uint8_t {
   kDma,       ///< GFP_DMA: DMA only.
 };
 
+/// Allocation context flags (zone preference, hot/cold placement,
+/// atomicity) — the subset of Linux gfp_t the simulation distinguishes.
 struct GfpFlags {
   GfpZonePreference zone = GfpZonePreference::kNormal;
   /// Cold allocation: take from the tail of the per-CPU cache (page-cache

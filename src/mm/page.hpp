@@ -15,6 +15,8 @@ using Pfn = std::uint64_t;
 inline constexpr Pfn kInvalidPfn = ~0ULL;
 inline constexpr std::uint32_t kMaxOrder = 11;  ///< Blocks of 1..1024 pages.
 
+/// Where a physical frame currently lives, from the allocator's point of
+/// view.
 enum class PageState : std::uint8_t {
   kReserved,   ///< Not managed by the allocator (holes, firmware).
   kFreeBuddy,  ///< Head page of a free buddy block.

@@ -20,6 +20,9 @@ enum class Arch : std::uint8_t {
   kX86_32,  ///< DMA [0,16M) | NORMAL [16M,896M) | HIGHMEM [896M,..)
 };
 
+/// Machine-level allocator shape: physical memory size, CPU count,
+/// architecture zone carving, per-CPU cache tuning and low-memory
+/// reservations.
 struct AllocatorConfig {
   std::uint64_t total_bytes = 256 * kMiB;
   std::uint32_t num_cpus = 2;
@@ -30,6 +33,7 @@ struct AllocatorConfig {
   std::uint64_t reserved_pages = 256;  // first 1 MiB
 };
 
+/// Aggregate /proc/vmstat-style counters over all zones and CPUs.
 struct VmStats {
   std::uint64_t pgalloc = 0;          ///< Successful allocations (blocks).
   std::uint64_t pgfree = 0;           ///< Frees (blocks).
@@ -49,6 +53,10 @@ struct Allocation {
   bool from_pcp = false;
 };
 
+/// The zoned physical page allocator: per-zone buddy systems behind
+/// per-CPU page frame caches with watermark-gated zone fallback — the
+/// Linux allocation path (§III) whose reuse behaviour the attack
+/// steers.
 class PageAllocator {
  public:
   explicit PageAllocator(const AllocatorConfig& config);

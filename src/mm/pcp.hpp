@@ -15,6 +15,7 @@
 
 namespace explframe::mm {
 
+/// Tuning of one per-CPU page frame cache (Linux per_cpu_pages).
 struct PcpConfig {
   /// Drain back to the buddy allocator when count exceeds this
   /// (Linux: zone-size dependent; 186 is a typical x86-64 desktop value).
@@ -26,6 +27,7 @@ struct PcpConfig {
   bool lifo = true;
 };
 
+/// Activity counters of one per-CPU cache.
 struct PcpStats {
   std::uint64_t alloc_hits = 0;    ///< Served from the cache.
   std::uint64_t refills = 0;       ///< Bulk refills from buddy.

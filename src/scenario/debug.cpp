@@ -312,4 +312,81 @@ std::optional<std::string> DebugSession::bisect_flip(std::uint32_t byte_index,
   return out.str();
 }
 
+DebugCommandOutcome execute_debug_command(DebugSession& session,
+                                          const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  std::string error;
+  std::ostringstream out;
+  const auto ok = [&] {
+    return DebugCommandOutcome{DebugCommandOutcome::Kind::kOk, out.str()};
+  };
+  const auto reject = [](std::string what) {
+    // The parser's reject contract: NEVER an empty diagnostic.
+    EXPLFRAME_CHECK(!what.empty());
+    return DebugCommandOutcome{DebugCommandOutcome::Kind::kError,
+                               std::move(what)};
+  };
+
+  if (cmd.empty())
+    return {DebugCommandOutcome::Kind::kEmpty, {}};
+  if (cmd == "quit" || cmd == "exit" || cmd == "q")
+    return {DebugCommandOutcome::Kind::kQuit, {}};
+  if (cmd == "help") {
+    out << "  step [n]           execute the next n events (default 1)\n"
+           "  run-until <event>  execute up to and including <event>\n"
+           "  rewind [n]         undo the last n events (snapshot restore, "
+           "default 1)\n"
+           "  bisect-flip <byte> first hammer iteration corrupting that "
+           "table byte\n"
+           "  status             position and report so far\n"
+           "  events             the event list\n"
+           "  quit               leave the debugger\n";
+    return ok();
+  }
+  if (cmd == "status") {
+    out << session.status();
+    return ok();
+  }
+  if (cmd == "events") {
+    for (std::size_t i = 0; i < session.events().size(); ++i)
+      out << "  [" << (i < session.position() ? 'x' : ' ') << "] "
+          << session.events()[i] << "\n";
+    return ok();
+  }
+  if (cmd == "step") {
+    std::uint64_t n = 1;
+    in >> n;
+    for (std::uint64_t i = 0; i < n && !session.done(); ++i)
+      out << session.step() << "\n";
+    if (session.done()) out << "(end of trial)\n";
+    return ok();
+  }
+  if (cmd == "run-until") {
+    std::string event;
+    in >> event;
+    if (!session.run_until(event, &error)) return reject(error);
+    out << session.status();
+    return ok();
+  }
+  if (cmd == "rewind") {
+    std::uint64_t n = 1;
+    in >> n;
+    if (!session.rewind(n, &error)) return reject(error);
+    out << "rewound to " << session.position() << "/"
+        << session.events().size() << " events executed\n";
+    return ok();
+  }
+  if (cmd == "bisect-flip") {
+    std::uint32_t byte_index = 0;
+    if (!(in >> byte_index)) return reject("usage: bisect-flip <byte-index>");
+    const auto found = session.bisect_flip(byte_index, &error);
+    if (!found) return reject(error);
+    out << *found << "\n";
+    return ok();
+  }
+  return reject("unknown command '" + cmd + "' (try: help)");
+}
+
 }  // namespace explframe::scenario

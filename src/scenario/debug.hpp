@@ -100,4 +100,23 @@ class DebugSession {
   std::size_t position_ = 0;
 };
 
+/// Outcome of one REPL command line (see execute_debug_command).
+struct DebugCommandOutcome {
+  /// What the line was: a command that ran, a rejected line (unknown
+  /// command / bad arguments — `output` holds a non-empty diagnostic), a
+  /// quit request, or whitespace to ignore.
+  enum class Kind { kOk, kError, kQuit, kEmpty };
+  Kind kind = Kind::kOk;
+  /// Human-readable result (step lines, status, help, or the error text).
+  std::string output;
+};
+
+/// Parse and execute one `explsim debug` REPL line against `session`.
+/// This IS the REPL command parser (the explsim binary is a thin
+/// print/readline wrapper around it), factored into the library so it can
+/// be property-tested: it never throws or crashes on arbitrary input, and
+/// every rejected line yields Kind::kError with a non-empty diagnostic.
+DebugCommandOutcome execute_debug_command(DebugSession& session,
+                                          const std::string& line);
+
 }  // namespace explframe::scenario

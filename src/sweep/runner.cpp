@@ -352,6 +352,7 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
   for (std::size_t i = 0; i < slots.size(); ++i)
     if (!slots[i]) pending.push_back(i);
 
+  // determinism: allow(steady-clock) sweep wall_seconds diagnostic, stdout only
   const auto start = std::chrono::steady_clock::now();
   if (!pending.empty()) {
     // Group points that share a templated base: same template-shaping
@@ -441,6 +442,7 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
     for (std::thread& t : pool) t.join();
   }
   const std::chrono::duration<double> elapsed =
+      // determinism: allow(steady-clock) sweep wall_seconds diagnostic, stdout only
       std::chrono::steady_clock::now() - start;
 
   writer.close();

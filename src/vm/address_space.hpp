@@ -22,6 +22,7 @@ struct Vma {
   bool contains(VirtAddr va) const noexcept { return va >= start && va < end; }
 };
 
+/// Per-address-space fault/mmap accounting (/proc/<pid>/stat shape).
 struct VmCounters {
   std::uint64_t minor_faults = 0;
   std::uint64_t mmap_calls = 0;
@@ -29,6 +30,10 @@ struct VmCounters {
   std::uint64_t mapped_peak = 0;
 };
 
+/// One task's virtual memory: VMA list plus the 4-level page table,
+/// with mmap/munmap/translate and demand-fault plumbing. Owns no
+/// physical frames itself — those come and go through the FrameClient
+/// and fault callbacks.
 class AddressSpace {
  public:
   /// mmap region grows upward from here (x86-64 userspace mmap base).

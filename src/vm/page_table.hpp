@@ -42,6 +42,9 @@ struct FrameClient {
   std::function<void(mm::Pfn)> free;
 };
 
+/// 4-level x86-64-shaped page table (9 bits per level, 4 KiB leaves).
+/// Node frames are charged through the FrameClient so table pages
+/// travel the same allocator path as data pages (EXP-A1).
 class PageTable {
  public:
   /// `client` may be null: nodes are then bookkept but not charged frames.

@@ -10,6 +10,7 @@
 
 namespace explframe::vm {
 
+/// One /proc/<pid>/pagemap read: presence + (privileged) frame number.
 struct PagemapEntry {
   bool present = false;
   /// PFN if the caller had CAP_SYS_ADMIN, otherwise 0 (as on Linux >= 4.0).

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "scenario/debug.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenario.hpp"
 #include "support/config.hpp"
@@ -159,6 +160,73 @@ TEST(ParserFuzz, RawByteSoupIsRejectedOrParsedNeverFatal) {
     (void)sweep::PointRecord::parse(soup, &error);
   }
   SUCCEED();  // Surviving without a crash IS the property.
+}
+
+// ---- `explsim debug` REPL command parser ----------------------------------
+// scenario::execute_debug_command is the full parser behind the
+// interactive debugger (the binary is a readline wrapper around it). Its
+// contract under arbitrary input: never crash, never CHECK-fail; every
+// rejected line yields Kind::kError with a non-empty diagnostic; and no
+// command storm may corrupt the session — after any sequence, rewinding
+// to the base layer and replaying reproduces the bit-identical report.
+
+TEST(ParserFuzz, DebugCommandsNeverCrashAndRejectLoudly) {
+  const scenario::Scenario& s = scenario::builtin_scenario("quickstart");
+  scenario::DebugSession session(s, /*trial=*/0);
+  ASSERT_TRUE(session.template_found())
+      << "quickstart trial 0 is expected to template (seed contract)";
+
+  // The deterministic reference: step the trial to completion once.
+  scenario::DebugSession reference(s, /*trial=*/0);
+  while (!reference.done()) reference.step();
+
+  Rng rng(0x5eed0006);
+  const struct {
+    const char* seed;
+    int rounds;
+  } seeds[] = {
+      {"step", 120},          {"step 2", 120},
+      {"run-until hammer", 120}, {"run-until steer", 120},
+      {"rewind", 120},        {"rewind 1", 120},
+      {"status", 120},        {"events", 120},
+      {"help", 120},          {"quit later", 120},
+      // Valid mutations of these actually bisect (restore-heavy); keep
+      // the round count low so the fuzz stays fast.
+      {"bisect-flip 3", 40},  {"bisect-flip 999", 40},
+  };
+  for (const auto& [seed_cmd, rounds] : seeds) {
+    for (int i = 0; i < rounds; ++i) {
+      const std::string line = mutate_some(seed_cmd, rng);
+      const auto outcome = scenario::execute_debug_command(session, line);
+      if (outcome.kind == scenario::DebugCommandOutcome::Kind::kError) {
+        EXPECT_FALSE(outcome.output.empty()) << "silent reject on: " << line;
+      }
+      ASSERT_LE(session.position(), session.events().size());
+    }
+  }
+
+  // Raw byte soup on top — the untrusted-stdin case.
+  for (int i = 0; i < kMutationsPerSeed; ++i) {
+    std::string soup(rng.uniform(32), '\0');
+    for (char& c : soup) c = static_cast<char>(rng.uniform(256));
+    const auto outcome = scenario::execute_debug_command(session, soup);
+    if (outcome.kind == scenario::DebugCommandOutcome::Kind::kError) {
+      EXPECT_FALSE(outcome.output.empty()) << "silent reject on soup " << i;
+    }
+    ASSERT_LE(session.position(), session.events().size());
+  }
+
+  // The storm must not have corrupted anything: rewind to the base layer,
+  // replay to completion, and the report is bit-identical to the fresh
+  // reference run (the debugger's time-travel determinism contract).
+  std::string error;
+  ASSERT_TRUE(session.rewind(session.position(), &error)) << error;
+  while (!session.done()) session.step();
+  EXPECT_EQ(session.report().success, reference.report().success);
+  EXPECT_EQ(session.report().total_time, reference.report().total_time);
+  EXPECT_EQ(session.report().recovered_key, reference.report().recovered_key);
+  EXPECT_EQ(session.report().ciphertexts_used,
+            reference.report().ciphertexts_used);
 }
 
 }  // namespace

@@ -1,0 +1,122 @@
+// tests/race/ — the TSan stress surface for the trial engine.
+//
+// These tests are correctness tests in every build (thread-count
+// invariance is the determinism contract PR 3's goldens rest on), but
+// their real job is to give the TSan CI leg (-DEXPLFRAME_SANITIZE=thread)
+// dense cross-thread traffic: many workers forking trials off shared
+// snapshots, hammering the runner's queue, aggregate merge and progress
+// paths at the highest thread count the host offers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attack/campaign_runner.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+
+namespace explframe::attack {
+namespace {
+
+std::uint32_t hardware_threads() {
+  return std::max(2u, std::thread::hardware_concurrency());
+}
+
+/// The quickstart attack with enough trials that every worker of a wide
+/// pool actually runs several, so queue hand-off and aggregate merging see
+/// real contention under TSan.
+RunnerConfig stress_config(std::uint32_t threads) {
+  RunnerConfig cfg = scenario::builtin_scenario("quickstart").runner_config();
+  cfg.trials = std::max<std::uint32_t>(12, 2 * hardware_threads());
+  cfg.threads = threads;
+  return cfg;
+}
+
+/// Collapse an aggregate to the fields the byte-stable emitters publish
+/// (everything except host wall-clock, which parallelism is allowed to
+/// change).
+std::string deterministic_digest(const CampaignAggregate& aggregate) {
+  scenario::ScenarioResult result;
+  result.scenario = scenario::builtin_scenario("quickstart");
+  result.aggregate = aggregate;
+  return scenario::markdown_report(result) + "\n" +
+         scenario::csv_report(result);
+}
+
+TEST(CampaignRunnerRace, ReportsByteIdenticalAcrossThreadCounts) {
+  const std::string serial =
+      deterministic_digest(CampaignRunner(stress_config(1)).run());
+  for (const std::uint32_t threads : {4u, hardware_threads()}) {
+    const std::string wide =
+        deterministic_digest(CampaignRunner(stress_config(threads)).run());
+    EXPECT_EQ(serial, wide) << "thread count " << threads
+                            << " changed emitted report bytes";
+  }
+}
+
+TEST(CampaignRunnerRace, ConcurrentRunnersDoNotInterfere) {
+  // Several full runners in flight at once — the shape explsimd will have.
+  // Each runner owns its own Systems, so the only shared state is hidden
+  // globals (logging, AES-NI dispatch, registry singletons); TSan audits
+  // exactly those.
+  const std::string expected =
+      deterministic_digest(CampaignRunner(stress_config(2)).run());
+  constexpr int kRunners = 3;
+  std::vector<std::string> digests(kRunners);
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(kRunners);
+    for (int i = 0; i < kRunners; ++i)
+      pool.emplace_back([&digests, i] {
+        digests[i] =
+            deterministic_digest(CampaignRunner(stress_config(2)).run());
+      });
+    for (auto& t : pool) t.join();
+  }
+  for (int i = 0; i < kRunners; ++i)
+    EXPECT_EQ(digests[i], expected) << "concurrent runner " << i << " drifted";
+}
+
+TEST(CampaignRunnerRace, ConcurrentTrialGroupsForkIdentically) {
+  // Snapshot-forked trial groups on many threads at once: each thread
+  // templates one machine, snapshots it and forks a 3-variant family —
+  // the run_trial_group machinery under maximum concurrency.
+  const RunnerConfig base = stress_config(1);
+  std::vector<CampaignConfig> variants;
+  for (const std::uint32_t budget : {1500u, 4000u, 8000u}) {
+    CampaignConfig cfg = base.campaign;
+    cfg.ciphertext_budget = budget;
+    variants.push_back(cfg);
+  }
+  const std::vector<CampaignReport> expected =
+      CampaignRunner::run_trial_group(base, variants, /*trial=*/0);
+  ASSERT_EQ(expected.size(), variants.size());
+
+  const std::uint32_t lanes = hardware_threads();
+  std::vector<std::vector<CampaignReport>> got(lanes);
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(lanes);
+    for (std::uint32_t i = 0; i < lanes; ++i)
+      pool.emplace_back([&base, &variants, &got, i] {
+        got[i] = CampaignRunner::run_trial_group(base, variants, /*trial=*/0);
+      });
+    for (auto& t : pool) t.join();
+  }
+  for (std::uint32_t i = 0; i < lanes; ++i) {
+    ASSERT_EQ(got[i].size(), expected.size()) << "lane " << i;
+    for (std::size_t v = 0; v < expected.size(); ++v) {
+      EXPECT_EQ(got[i][v].success, expected[v].success);
+      EXPECT_EQ(got[i][v].total_time, expected[v].total_time);
+      EXPECT_EQ(got[i][v].ciphertexts_used, expected[v].ciphertexts_used);
+      EXPECT_EQ(got[i][v].recovered_key, expected[v].recovered_key);
+      EXPECT_EQ(got[i][v].rows_scanned, expected[v].rows_scanned);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace explframe::attack

@@ -226,9 +226,10 @@ int cmd_run(const std::string& operand, std::uint32_t threads,
   return 0;
 }
 
-/// The `explsim debug` REPL over one scenario::DebugSession. Reads
-/// commands from stdin until quit/EOF; every mutation prints where the
-/// session now stands.
+/// The `explsim debug` REPL over one scenario::DebugSession. A thin
+/// readline/print wrapper: every line is parsed and executed by the
+/// library's scenario::execute_debug_command (which the property tests
+/// fuzz), so the binary and the tests exercise the same parser.
 int cmd_debug(const std::string& operand, std::uint32_t trial) {
   const auto s = resolve_scenario(operand);
   if (!s) return 1;
@@ -242,63 +243,18 @@ int cmd_debug(const std::string& operand, std::uint32_t trial) {
   std::string line;
   while (std::cout << "(explsim) " << std::flush &&
          std::getline(std::cin, line)) {
-    std::istringstream in(line);
-    std::string cmd;
-    in >> cmd;
-    std::string error;
-    if (cmd.empty()) continue;
-    if (cmd == "quit" || cmd == "exit" || cmd == "q") break;
-    if (cmd == "help") {
-      std::cout << "  step [n]           execute the next n events "
-                   "(default 1)\n"
-                   "  run-until <event>  execute up to and including "
-                   "<event>\n"
-                   "  rewind [n]         undo the last n events (snapshot "
-                   "restore, default 1)\n"
-                   "  bisect-flip <byte> first hammer iteration corrupting "
-                   "that table byte\n"
-                   "  status             position and report so far\n"
-                   "  events             the event list\n"
-                   "  quit               leave the debugger\n";
-    } else if (cmd == "status") {
-      std::cout << session.status();
-    } else if (cmd == "events") {
-      for (std::size_t i = 0; i < session.events().size(); ++i)
-        std::cout << "  [" << (i < session.position() ? 'x' : ' ') << "] "
-                  << session.events()[i] << "\n";
-    } else if (cmd == "step") {
-      std::uint64_t n = 1;
-      in >> n;
-      for (std::uint64_t i = 0; i < n && !session.done(); ++i)
-        std::cout << session.step() << "\n";
-      if (session.done()) std::cout << "(end of trial)\n";
-    } else if (cmd == "run-until") {
-      std::string event;
-      in >> event;
-      if (!session.run_until(event, &error))
-        std::cout << "error: " << error << "\n";
-      else
-        std::cout << session.status();
-    } else if (cmd == "rewind") {
-      std::uint64_t n = 1;
-      in >> n;
-      if (!session.rewind(n, &error))
-        std::cout << "error: " << error << "\n";
-      else
-        std::cout << "rewound to " << session.position() << "/"
-                  << session.events().size() << " events executed\n";
-    } else if (cmd == "bisect-flip") {
-      std::uint32_t byte_index = 0;
-      if (!(in >> byte_index)) {
-        std::cout << "usage: bisect-flip <byte-index>\n";
-        continue;
-      }
-      if (const auto found = session.bisect_flip(byte_index, &error))
-        std::cout << *found << "\n";
-      else
-        std::cout << "error: " << error << "\n";
-    } else {
-      std::cout << "unknown command '" << cmd << "' (try: help)\n";
+    const auto outcome = execute_debug_command(session, line);
+    switch (outcome.kind) {
+      case DebugCommandOutcome::Kind::kQuit:
+        return 0;
+      case DebugCommandOutcome::Kind::kEmpty:
+        break;
+      case DebugCommandOutcome::Kind::kError:
+        std::cout << "error: " << outcome.output << "\n";
+        break;
+      case DebugCommandOutcome::Kind::kOk:
+        std::cout << outcome.output;
+        break;
     }
   }
   return 0;

@@ -1,0 +1,20 @@
+// Negative fixture (header half) for tools/lint_determinism.sh --self-test:
+// the uninit-seed rule only applies to headers, where seed members live.
+// Never compiled, never linted as product code.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct BadConfig {
+  // [uninit-seed] replay would depend on uninitialized memory.
+  std::uint64_t seed;
+  std::uint32_t noise_seed_;
+
+  // Initialized seeds and seed accessors must NOT be flagged.
+  std::uint64_t good_seed = 1;
+  std::uint64_t seed_of() const noexcept { return good_seed; }
+};
+
+}  // namespace fixture

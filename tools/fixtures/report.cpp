@@ -1,0 +1,20 @@
+// Negative fixture (emitter half) for tools/lint_determinism.sh
+// --self-test: named report.cpp so the unordered-emit rule treats it as a
+// byte-stable emitter translation unit. Never compiled, never linted as
+// product code.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+// [unordered-emit] iteration order of an unordered container is not part
+// of the byte-stability contract; emitters must use ordered containers.
+inline std::string bad_emit(
+    const std::unordered_map<std::string, int>& stages) {
+  std::string out;
+  for (const auto& [stage, count] : stages)
+    out += stage + "=" + std::to_string(count) + "\n";
+  return out;
+}
+
+}  // namespace fixture
