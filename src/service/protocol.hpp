@@ -1,0 +1,77 @@
+// service::protocol — the line-oriented `explsimd` submission format.
+//
+// A submission is ONE line of text — what a client drops into the spool
+// directory (or, one day, writes to a local socket):
+//
+//   explsimd-request v1 kind=sweep name=defence-grid
+//   explsimd-request v1 kind=scenario name=quickstart threads=4
+//
+// Space-separated tokens: a magic word, a version, then `key=value`
+// fields. Parsing is strict — unknown keys, duplicate keys, missing
+// required fields, malformed names and out-of-range values are all
+// errors with a non-empty message, never a crash (the property tests
+// fuzz this parser with mutation storms and raw byte soup, exactly like
+// the `.scn`/`.sweep` parsers, because daemon input is untrusted input).
+// Serialization is canonical (fixed field order, defaults omitted), so
+// parse ∘ serialize is a fixed point and a request file's bytes are a
+// complete record of what was asked.
+//
+// Identity: job_id() maps a request to the id everything downstream keys
+// on — dedupe, the checkpoint file, the completed-report cache. The id
+// binds the *resolved content* (the canonical `.scn` text of the named
+// scenario, or the sweep's spec_hash, which covers the canonical `.sweep`
+// text plus the resolved base scenario), not the request line: two
+// requests for the same experiment dedupe even when their thread counts
+// differ (threads change wall clock only, never a report byte), and a
+// re-registered name whose definition drifted gets a fresh id instead of
+// a stale cached report.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "scenario/registry.hpp"
+#include "sweep/registry.hpp"
+
+namespace explframe::service {
+
+/// What a submission asks the daemon to run.
+enum class JobKind {
+  kScenario,  ///< One registered scenario (md + csv report).
+  kSweep,     ///< One registered sweep grid (md + csv report).
+};
+
+/// Canonical name ("scenario" | "sweep").
+const char* to_string(JobKind kind) noexcept;
+/// Inverse of to_string; nullopt on an unknown name.
+std::optional<JobKind> job_kind_from_string(const std::string& name) noexcept;
+
+/// One parsed submission line; plain data.
+struct JobRequest {
+  JobKind kind = JobKind::kScenario;
+  /// Registered scenario/sweep name ([A-Za-z0-9_.-]+, non-empty).
+  std::string name;
+  /// Worker threads for the job's inner runner (0 = the entry's own
+  /// setting). Wall-clock only; never part of the job identity.
+  std::uint32_t threads = 0;
+
+  /// The canonical request line (no trailing newline); defaults omitted.
+  std::string serialize() const;
+  /// Inverse of serialize(); strict (see the file comment). On failure
+  /// returns nullopt and fills `error` (when non-null) with a non-empty
+  /// message.
+  static std::optional<JobRequest> parse(const std::string& line,
+                                         std::string* error = nullptr);
+
+  bool operator==(const JobRequest&) const = default;
+};
+
+/// The content-bound job id (see the file comment): "scn-"/"swp-" plus 16
+/// hex digits. Nullopt + `error` when the named entry is not registered.
+std::optional<std::string> job_id(const JobRequest& request,
+                                  const scenario::Registry& scenarios,
+                                  const sweep::Registry& sweeps,
+                                  std::string* error = nullptr);
+
+}  // namespace explframe::service

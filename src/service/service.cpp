@@ -1,0 +1,310 @@
+#include "service/service.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "scenario/report.hpp"
+#include "support/check.hpp"
+#include "sweep/report.hpp"
+#include "sweep/runner.hpp"
+
+namespace explframe::service {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Write `content` durably: unique temp file, fwrite + fsync, then an
+/// atomic rename onto `path`. A crash leaves either the old file or the
+/// new one, never a torn mix — the property both the .req acknowledgement
+/// and the done-cache rely on.
+bool durable_write(const std::string& path, const std::string& content) {
+  static std::atomic<std::uint64_t> tmp_counter{0};
+  const std::string tmp =
+      path + ".tmp" + std::to_string(tmp_counter.fetch_add(1));
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (!file) return false;
+  const bool wrote =
+      content.empty() ||
+      std::fwrite(content.data(), 1, content.size(), file) == content.size();
+  const bool flushed = wrote && std::fflush(file) == 0;
+  if (flushed) ::fsync(::fileno(file));
+  std::fclose(file);
+  if (!flushed) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+bool fail_with(std::string* error, const std::string& what) {
+  if (error) *error = what;
+  return false;
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options, const scenario::Registry& scenarios,
+                 const sweep::Registry& sweeps)
+    : options_(std::move(options)),
+      scenarios_(scenarios),
+      sweeps_(sweeps),
+      queue_(options_.max_attempts) {}
+
+Service::~Service() { shutdown(Shutdown::kCancel); }
+
+std::string Service::queue_path(const std::string& id) const {
+  return options_.spool_dir + "/queue/" + id + ".req";
+}
+
+std::string Service::checkpoint_path(const std::string& id) const {
+  return options_.spool_dir + "/checkpoints/" + id + ".ckpt";
+}
+
+std::string Service::done_path(const std::string& id,
+                               const std::string& ext) const {
+  return options_.spool_dir + "/done/" + id + "." + ext;
+}
+
+std::string Service::failed_path(const std::string& id) const {
+  return options_.spool_dir + "/failed/" + id + ".err";
+}
+
+bool Service::start(std::string* error) {
+  EXPLFRAME_CHECK(!running_.load());
+  for (const char* sub : {"queue", "checkpoints", "done", "failed"}) {
+    std::error_code ec;
+    fs::create_directories(options_.spool_dir + "/" + sub, ec);
+    if (ec)
+      return fail_with(error, "cannot create spool directory '" +
+                                  options_.spool_dir + "/" + sub +
+                                  "': " + ec.message());
+  }
+
+  // Re-enqueue every submission a previous process accepted but never
+  // retired. Sorted for a deterministic startup order.
+  std::vector<std::string> survivors;
+  for (const auto& entry :
+       fs::directory_iterator(options_.spool_dir + "/queue")) {
+    const std::string path = entry.path().string();
+    if (entry.path().extension() == ".req") survivors.push_back(path);
+  }
+  std::sort(survivors.begin(), survivors.end());
+  for (const std::string& path : survivors) {
+    const auto text = read_file(path);
+    if (!text)
+      return fail_with(error, "cannot read spooled request '" + path + "'");
+    std::string line = *text;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+      line.pop_back();
+    std::string parse_error;
+    const auto request = JobRequest::parse(line, &parse_error);
+    if (!request)
+      return fail_with(error, "corrupt spooled request '" + path +
+                                  "': " + parse_error);
+    std::string id_error;
+    const auto id = job_id(*request, scenarios_, sweeps_, &id_error);
+    if (!id)
+      return fail_with(error, "stale spooled request '" + path +
+                                  "': " + id_error);
+    if (fs::exists(done_path(*id, "md"))) {
+      // Completed by a previous process; the rename beat the crash but
+      // the .req removal did not. Retire it now.
+      std::error_code ec;
+      fs::remove(path, ec);
+      continue;
+    }
+    queue_.submit(*id, *request);
+  }
+
+  running_.store(true);
+  const std::uint32_t workers = std::max<std::uint32_t>(1, options_.workers);
+  workers_.reserve(workers);
+  for (std::uint32_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  return true;
+}
+
+std::optional<SubmitOutcome> Service::submit(const JobRequest& request,
+                                             std::string* error) {
+  SubmitOutcome outcome;
+  std::string id_error;
+  const auto id = job_id(request, scenarios_, sweeps_, &id_error);
+  if (!id) {
+    fail_with(error, id_error);
+    return std::nullopt;
+  }
+  outcome.id = *id;
+
+  const auto tracked = queue_.find(*id);
+  const bool done_in_queue = tracked && tracked->state == JobState::kDone;
+  if (done_in_queue ||
+      (!tracked && fs::exists(done_path(*id, "md")))) {
+    outcome.cached = true;
+    return outcome;
+  }
+
+  // Durable before acknowledged: the .req file is what survives a crash.
+  // Identical concurrent submissions write identical bytes, and the
+  // rename makes the last writer win harmlessly.
+  if (!durable_write(queue_path(*id), request.serialize() + "\n")) {
+    fail_with(error,
+              "cannot spool request into '" + queue_path(*id) + "'");
+    return std::nullopt;
+  }
+  const JobQueue::Submitted submitted = queue_.submit(*id, request);
+  outcome.accepted = submitted.enqueued;
+  outcome.deduped = submitted.deduped;
+  return outcome;
+}
+
+std::optional<SubmitOutcome> Service::submit_line(const std::string& line,
+                                                  std::string* error) {
+  std::string parse_error;
+  const auto request = JobRequest::parse(line, &parse_error);
+  if (!request) {
+    fail_with(error, parse_error);
+    return std::nullopt;
+  }
+  return submit(*request, error);
+}
+
+void Service::shutdown(Shutdown mode) {
+  // The cancel flag is raised before anything else so a worker that is
+  // about to start (or mid-way through) a sweep observes it at its next
+  // group boundary — even if it wins the race with the join below.
+  if (mode == Shutdown::kCancel) cancel_.store(true);
+  if (!running_.exchange(false)) return;
+  if (mode == Shutdown::kDrain) queue_.wait_idle();
+  queue_.stop();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void Service::drain() const { queue_.wait_idle(); }
+
+std::optional<Job> Service::status(const std::string& id) const {
+  return queue_.find(id);
+}
+
+std::vector<Job> Service::jobs() const { return queue_.jobs(); }
+
+std::optional<std::string> Service::report(const std::string& id,
+                                           const std::string& ext) const {
+  return read_file(done_path(id, ext));
+}
+
+std::uint64_t Service::executions() const noexcept {
+  return executions_.load();
+}
+
+void Service::worker_loop() {
+  while (auto job = queue_.claim()) execute(*job);
+}
+
+void Service::execute(const Job& job) {
+  if (options_.crash_for_test && options_.crash_for_test(job)) {
+    if (!queue_.requeue_or_fail(job.id, "worker crashed")) {
+      const auto failed = queue_.find(job.id);
+      durable_write(failed_path(job.id),
+                    (failed ? failed->error : std::string("worker crashed")) +
+                        "\n");
+      std::error_code ec;
+      fs::remove(queue_path(job.id), ec);
+    }
+    return;
+  }
+
+  executions_.fetch_add(1);
+  std::string error;
+  bool cancelled = false;
+  const bool ok = job.request.kind == JobKind::kScenario
+                      ? run_scenario_job(job, &error)
+                      : run_sweep_job(job, &cancelled, &error);
+  if (ok) {
+    queue_.complete(job.id);
+    return;
+  }
+  if (cancelled) {
+    // A graceful stop, not a failure: the checkpoint holds every
+    // completed point and the .req file keeps the job submitted, so the
+    // next start() resumes it.
+    queue_.release(job.id);
+    return;
+  }
+  queue_.fail(job.id, error);
+  durable_write(failed_path(job.id), error + "\n");
+  std::error_code ec;
+  fs::remove(queue_path(job.id), ec);
+}
+
+bool Service::run_scenario_job(const Job& job, std::string* error) {
+  const scenario::Scenario* s = scenarios_.find(job.request.name);
+  if (!s)
+    return fail_with(error, "no scenario named '" + job.request.name + "'");
+  const scenario::ScenarioResult result =
+      scenario::run_scenario(*s, job.request.threads);
+  return finish(job, scenario::markdown_report(result),
+                scenario::csv_report(result), error);
+}
+
+bool Service::run_sweep_job(const Job& job, bool* cancelled,
+                            std::string* error) {
+  const sweep::SweepSpec* spec = sweeps_.find(job.request.name);
+  if (!spec)
+    return fail_with(error, "no sweep named '" + job.request.name + "'");
+  sweep::SweepRunOptions options;
+  options.threads = job.request.threads;
+  options.checkpoint_path = checkpoint_path(job.id);
+  options.resume = true;  // A missing checkpoint is an empty one.
+  options.remove_checkpoint_on_success = true;
+  options.cancel = &cancel_;
+  std::string run_error;
+  const auto result = sweep::run_sweep(*spec, scenarios_, options, &run_error);
+  if (!result) {
+    if (cancel_.load()) {
+      *cancelled = true;
+      return fail_with(error, run_error);
+    }
+    return fail_with(error, run_error);
+  }
+  return finish(job, sweep::sweep_markdown(*result),
+                sweep::sweep_csv(*result), error);
+}
+
+bool Service::finish(const Job& job, const std::string& md,
+                     const std::string& csv, std::string* error) {
+  // Reports land before the .req retires: a crash between the two leaves
+  // a done file plus a stale .req, which start() resolves in favour of
+  // the report. The reverse order could lose an acknowledged job.
+  if (!durable_write(done_path(job.id, "md"), md) ||
+      !durable_write(done_path(job.id, "csv"), csv))
+    return fail_with(error, "cannot write report into '" +
+                                done_path(job.id, "md") + "'");
+  std::error_code ec;
+  fs::remove(queue_path(job.id), ec);
+  return true;
+}
+
+}  // namespace explframe::service

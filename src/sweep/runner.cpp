@@ -293,11 +293,21 @@ std::optional<std::vector<PointRecord>> load_checkpoint(
     std::string parse_error;
     const auto record = PointRecord::parse(line, &parse_error);
     if (!record) return fail(parse_error);
-    for (const PointRecord& seen : records)
-      if (seen.index == record->index)
-        return fail("duplicate record for point " +
-                    std::to_string(record->index));
-    records.push_back(*record);
+    // A point logged twice with the same outcome deduplicates (a requeued
+    // job may re-log work it had already made durable); two *different*
+    // outcomes for one point mean the file mixes incompatible runs.
+    bool duplicate = false;
+    for (const PointRecord& seen : records) {
+      if (seen.index != record->index) continue;
+      if (seen == *record) {
+        duplicate = true;
+        break;
+      }
+      return fail("conflicting duplicate records for point " +
+                  std::to_string(record->index) +
+                  " (same index, different results)");
+    }
+    if (!duplicate) records.push_back(*record);
   }
   return records;
 }
@@ -317,6 +327,30 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
     return std::nullopt;
   };
 
+  // Sharding: this run owns the round-robin subset i % N == shard_index.
+  // The partition is a pure function of the expanded point order, so every
+  // shard of a grid agrees on who owns what without coordination.
+  if (options.shard_count == 0)
+    return fail("shard_count must be at least 1");
+  if (options.shard_index >= options.shard_count)
+    return fail("shard index " + std::to_string(options.shard_index) +
+                " is out of range for " +
+                std::to_string(options.shard_count) + " shard(s)");
+  const bool sharded = options.shard_count > 1;
+  const auto owns = [&](std::size_t index) {
+    return index % options.shard_count == options.shard_index;
+  };
+  if (sharded && options.checkpoint_path.empty())
+    return fail(
+        "a sharded run needs a checkpoint path (the checkpoint is the "
+        "shard's output, consumed by merge)");
+  if (sharded && (*points).size() < options.shard_count &&
+      options.shard_index >= (*points).size())
+    return fail("shard " + std::to_string(options.shard_index + 1) + "/" +
+                std::to_string(options.shard_count) + " owns none of the " +
+                std::to_string((*points).size()) +
+                " point(s); use fewer shards");
+
   // Completed records, indexed by point; resumed ones come pre-filled.
   std::vector<std::optional<PointRecord>> slots(points->size());
   std::size_t resumed = 0;
@@ -331,6 +365,12 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
         return fail(options.checkpoint_path + ": record for point " +
                     std::to_string(record.index) +
                     " does not match the expanded grid");
+      if (!owns(record.index))
+        return fail(options.checkpoint_path + ": record for point " +
+                    std::to_string(record.index) + " belongs to another " +
+                    "shard (this run is shard " +
+                    std::to_string(options.shard_index + 1) + "/" +
+                    std::to_string(options.shard_count) + ")");
       slots[record.index] = record;
       ++resumed;
     }
@@ -350,7 +390,7 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
 
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < slots.size(); ++i)
-    if (!slots[i]) pending.push_back(i);
+    if (owns(i) && !slots[i]) pending.push_back(i);
 
   // determinism: allow(steady-clock) sweep wall_seconds diagnostic, stdout only
   const auto start = std::chrono::steady_clock::now();
@@ -391,6 +431,10 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
     std::atomic<std::size_t> next{0};
     const auto worker = [&] {
       while (true) {
+        // The graceful-stop seam: once `cancel` reads true no further
+        // group starts; everything already appended to the checkpoint
+        // stays durable, so a later --resume completes byte-identically.
+        if (options.cancel && options.cancel->load()) return;
         const std::size_t slot = next.fetch_add(1);
         if (slot >= groups.size()) return;
         const std::vector<std::size_t>& group = groups[slot];
@@ -446,19 +490,114 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
       std::chrono::steady_clock::now() - start;
 
   writer.close();
-  if (!options.checkpoint_path.empty() && options.remove_checkpoint_on_success)
+
+  // A cancelled run is not a finished run: keep the checkpoint (it holds
+  // every completed point, each fsynced) and report the interruption so
+  // callers never mistake a partial grid for a result.
+  bool incomplete = false;
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    if (owns(i) && !slots[i]) incomplete = true;
+  if (incomplete) {
+    EXPLFRAME_CHECK(options.cancel && options.cancel->load());
+    return fail("sweep '" + spec.name +
+                "' was cancelled before completing; completed points are "
+                "retained in the checkpoint and --resume finishes the run");
+  }
+
+  // A completed shard keeps its checkpoint: the file is the shard's
+  // output artifact, consumed by merge_checkpoints.
+  if (!options.checkpoint_path.empty() &&
+      options.remove_checkpoint_on_success && !sharded)
     std::filesystem::remove(options.checkpoint_path);
 
   SweepResult result;
   result.spec = spec;
   result.points = std::move(*points);
   result.records.reserve(slots.size());
-  for (auto& slot : slots) {
-    EXPLFRAME_CHECK(slot.has_value());
-    result.records.push_back(std::move(*slot));
-  }
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    if (slots[i]) result.records.push_back(std::move(*slots[i]));
   result.resumed_points = resumed;
   result.wall_seconds = elapsed.count();
+  result.shard_index = options.shard_index;
+  result.shard_count = options.shard_count;
+  EXPLFRAME_CHECK(sharded || result.complete());
+  return result;
+}
+
+std::optional<SweepResult> merge_checkpoints(
+    const SweepSpec& spec, const scenario::Registry& registry,
+    const std::vector<std::string>& checkpoint_paths, std::string* error) {
+  const auto points = spec.expand(registry, error);
+  if (!points) return std::nullopt;
+  const std::uint64_t hash = spec.spec_hash(registry);
+
+  const auto fail = [&](const std::string& what)
+      -> std::optional<SweepResult> {
+    set_error(error, what);
+    return std::nullopt;
+  };
+  if (checkpoint_paths.empty())
+    return fail("sweep '" + spec.name + "': no checkpoint files to merge");
+
+  // One slot per expanded point; remember which file filled it so a
+  // conflict names both sides.
+  std::vector<std::optional<PointRecord>> slots(points->size());
+  std::vector<std::string> sources(points->size());
+  for (const std::string& path : checkpoint_paths) {
+    // Unlike a resume (where "no checkpoint yet" means "nothing done"),
+    // a merge operand the user named must exist — a typo that silently
+    // contributed zero records would surface as a confusing
+    // missing-points error far from its cause.
+    if (!std::filesystem::exists(path))
+      return fail("cannot read checkpoint '" + path + "'");
+    const auto records = load_checkpoint(path, spec.name, hash, error);
+    if (!records) return std::nullopt;
+    for (const PointRecord& record : *records) {
+      if (record.index >= points->size() ||
+          record.id != (*points)[record.index].id ||
+          record.trials.size() != (*points)[record.index].scenario.trials)
+        return fail(path + ": record for point " +
+                    std::to_string(record.index) +
+                    " does not match the expanded grid");
+      auto& slot = slots[record.index];
+      if (!slot) {
+        slot = record;
+        sources[record.index] = path;
+        continue;
+      }
+      // Overlapping shardings are fine as long as they agree: identical
+      // duplicates deduplicate, conflicting ones are corruption.
+      if (*slot == record) continue;
+      return fail("conflicting records for point " +
+                  std::to_string(record.index) + " (" + record.id + "): '" +
+                  sources[record.index] + "' and '" + path +
+                  "' disagree — the checkpoints mix incompatible runs");
+    }
+  }
+
+  std::string missing;
+  std::size_t missing_count = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i]) continue;
+    ++missing_count;
+    if (missing_count <= 8) {
+      if (!missing.empty()) missing += ", ";
+      missing += std::to_string(i) + " (" + (*points)[i].id + ")";
+    }
+  }
+  if (missing_count > 8) missing += ", ...";
+  if (missing_count > 0)
+    return fail("merge of sweep '" + spec.name + "' is incomplete: " +
+                std::to_string(missing_count) + " point(s) missing: " +
+                missing + " — run the missing shard(s) or pass their "
+                "checkpoints");
+
+  SweepResult result;
+  result.spec = spec;
+  result.points = std::move(*points);
+  result.records.reserve(slots.size());
+  for (auto& slot : slots) result.records.push_back(std::move(*slot));
+  result.resumed_points = result.records.size();
   return result;
 }
 

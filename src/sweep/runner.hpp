@@ -22,8 +22,23 @@
 // partial rerun. Resumed points are *not* re-executed — their stored trial
 // records feed the emitters byte-identically to a fresh run, which
 // `explsim sweep run --resume` relies on and tests assert.
+//
+// Sharding contract: a grid can be split across N independent processes
+// with `shard_index`/`shard_count`. The partition is deterministic
+// round-robin over the expanded point indices (point i belongs to shard
+// i % N), so every shard expands the same grid, agrees on every point's
+// identity and seed, and owns a disjoint subset. A shard run writes its
+// owned records to its own checkpoint file — same format, same spec-hash
+// binding — and *keeps* the file on completion: the checkpoint IS the
+// shard's output artifact. merge_checkpoints() reassembles any set of
+// checkpoint files (shardings may even overlap, e.g. a rerun shard plus
+// an old full checkpoint) into one complete SweepResult whose emitted
+// CSV/markdown bytes are identical to an unsharded run's, because the
+// records are keyed by point index and every byte the emitters publish is
+// simulation-derived.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -86,9 +101,13 @@ struct PointRecord {
 /// empty checkpoint, not an error). Only newline-terminated lines count:
 /// a torn final fragment without its newline (the mid-write crash fsync
 /// cannot rule out) is ignored and its point simply reruns — the resumed
-/// run truncates it before appending. Errors: a malformed header, a hash
-/// or sweep-name mismatch, or any malformed *durable* line (those were
-/// fsynced, so that is real corruption, never a crash artifact).
+/// run truncates it before appending. Duplicate records for one point are
+/// deduplicated when byte-identical (a requeued job that re-logged a
+/// point) and an error when they conflict — two different results for the
+/// same point mean the file mixes incompatible runs. Other errors: a
+/// malformed header, a hash or sweep-name mismatch, or any malformed
+/// *durable* line (those were fsynced, so that is real corruption, never
+/// a crash artifact).
 std::optional<std::vector<PointRecord>> load_checkpoint(
     const std::string& path, const std::string& sweep_name,
     std::uint64_t spec_hash, std::string* error = nullptr);
@@ -113,28 +132,63 @@ struct SweepRunOptions {
   /// (forked reports equal fresh ones); false is the differential escape
   /// hatch and the bench baseline.
   bool share_templates = true;
+  /// This process's shard (0-based) out of `shard_count`. With the default
+  /// 1-way sharding the run owns every point; otherwise it owns the
+  /// round-robin subset i % shard_count == shard_index, requires a
+  /// checkpoint path, and keeps the checkpoint on completion (it is the
+  /// shard's output, consumed by merge_checkpoints).
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;  ///< Total shards the grid is split into.
+  /// When non-null, checked between work-group steals: once it reads true
+  /// no further points start, the checkpoint (holding every completed
+  /// point) is retained, and run_sweep fails with a "cancelled" error —
+  /// the graceful-stop seam explsimd's shutdown uses; a later resume
+  /// completes byte-identically.
+  const std::atomic<bool>* cancel = nullptr;
   /// Progress hook, called under a lock in completion order.
   /// `resumed` marks points served from the checkpoint.
   std::function<void(const SweepPoint&, const PointRecord&, bool resumed)>
       on_point;
 };
 
-/// A finished sweep: the spec, its expanded grid and one record per point
-/// (index order), ready for the report emitters.
+/// A finished sweep: the spec, its expanded grid and one record per owned
+/// point (index order). An unsharded or merged result covers the whole
+/// grid and is ready for the report emitters; a shard run's records cover
+/// only its round-robin subset (`complete()` distinguishes the two).
 struct SweepResult {
   SweepSpec spec;
   std::vector<SweepPoint> points;
   std::vector<PointRecord> records;
   std::size_t resumed_points = 0;  ///< Served from the checkpoint.
   double wall_seconds = 0.0;       ///< Host wall clock (stdout only).
+  std::uint32_t shard_index = 0;   ///< Which shard produced `records`.
+  std::uint32_t shard_count = 1;   ///< 1 = the result covers the grid.
+
+  /// True when `records` holds every expanded point — the precondition of
+  /// every report emitter (shard results are merged first).
+  bool complete() const noexcept { return records.size() == points.size(); }
 };
 
 /// Expand and execute `spec` against `registry` per `options`. Nullopt +
-/// `error` on expansion or checkpoint errors (never on attack outcomes —
-/// a failing attack is a result, not an error).
+/// `error` on expansion, sharding or checkpoint errors, or when
+/// `options.cancel` fired before the owned points finished (never on
+/// attack outcomes — a failing attack is a result, not an error).
 std::optional<SweepResult> run_sweep(const SweepSpec& spec,
                                      const scenario::Registry& registry,
                                      const SweepRunOptions& options = {},
                                      std::string* error = nullptr);
+
+/// Reassemble one complete SweepResult from shard checkpoint files.
+/// Every file must carry `spec`'s hash (foreign checkpoints are refused),
+/// torn final lines are tolerated exactly as in load_checkpoint, records
+/// duplicated across files deduplicate when identical and hard-error when
+/// they conflict, and every expanded point must be covered by exactly one
+/// surviving record — a missing point is an error naming it, never a
+/// silently partial report. The merged result's emitted CSV/markdown is
+/// byte-identical to an unsharded run of the same spec.
+std::optional<SweepResult> merge_checkpoints(
+    const SweepSpec& spec, const scenario::Registry& registry,
+    const std::vector<std::string>& checkpoint_paths,
+    std::string* error = nullptr);
 
 }  // namespace explframe::sweep

@@ -1,5 +1,6 @@
 // Property/fuzz tests for every text format the tools ingest: KvFile,
-// scenario `.scn`, sweep `.sweep` and checkpoint PointRecord lines.
+// scenario `.scn`, sweep `.sweep`, checkpoint PointRecord lines and
+// `explsimd` JobRequest submission lines.
 //
 // The contract under random mutation (substitute / insert / delete /
 // truncate over valid seed documents, plus raw byte soup): a parser either
@@ -16,6 +17,7 @@
 #include "scenario/debug.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/scenario.hpp"
+#include "service/protocol.hpp"
 #include "support/config.hpp"
 #include "support/rng.hpp"
 #include "sweep/registry.hpp"
@@ -148,6 +150,37 @@ TEST(ParserFuzz, CheckpointRecordNeverCrashesAndRoundTrips) {
   }
 }
 
+// The daemon's submission parser takes whatever lands in the spool
+// directory — untrusted by definition. Under mutation storms over valid
+// request lines it must never crash, reject with a non-empty error, and
+// every accepted request must survive serialize -> parse unchanged AND
+// serialize canonically (parse of a canonical line is the identity, so a
+// .req file's bytes are a stable dedupe key).
+TEST(ParserFuzz, JobRequestNeverCrashesAndRoundTrips) {
+  Rng rng(0x5eed0007);
+  const char* seed_lines[] = {
+      "explsimd-request v1 kind=scenario name=quickstart",
+      "explsimd-request v1 kind=sweep name=defence-grid",
+      "explsimd-request v1 kind=sweep name=templating-frontier threads=4",
+  };
+  for (const char* seed_line : seed_lines) {
+    for (int i = 0; i < kMutationsPerSeed; ++i) {
+      const std::string line = mutate_some(seed_line, rng);
+      std::string error;
+      const auto parsed = service::JobRequest::parse(line, &error);
+      if (!parsed) {
+        EXPECT_FALSE(error.empty()) << "silent failure on: " << line;
+        continue;
+      }
+      const std::string canonical = parsed->serialize();
+      const auto again = service::JobRequest::parse(canonical, &error);
+      ASSERT_TRUE(again.has_value()) << error;
+      EXPECT_EQ(*again, *parsed);
+      EXPECT_EQ(again->serialize(), canonical);
+    }
+  }
+}
+
 TEST(ParserFuzz, RawByteSoupIsRejectedOrParsedNeverFatal) {
   Rng rng(0x5eed0005);
   for (int i = 0; i < kMutationsPerSeed; ++i) {
@@ -158,6 +191,10 @@ TEST(ParserFuzz, RawByteSoupIsRejectedOrParsedNeverFatal) {
     (void)scenario::Scenario::from_scn(soup, &error);
     (void)sweep::SweepSpec::from_sweep(soup, &error);
     (void)sweep::PointRecord::parse(soup, &error);
+    error.clear();
+    if (!service::JobRequest::parse(soup, &error).has_value()) {
+      EXPECT_FALSE(error.empty()) << "silent reject on soup " << i;
+    }
   }
   SUCCEED();  // Surviving without a crash IS the property.
 }

@@ -47,11 +47,24 @@ for cmd in $debug_cmds; do
   fi
 done
 
+# Sharded-run and daemon coverage: the shard/merge CLI surface and every
+# `explsimd` subcommand must appear backquoted in the handbook's sharded
+# runs chapter (a distribution feature nobody can find is not a feature).
+shard_cmds="--shard merge --merge-from explsimd serve submit report"
+for cmd in $shard_cmds; do
+  if ! grep -q -- "\`$cmd" docs/HANDBOOK.md; then
+    echo "docs/HANDBOOK.md: error: shard/daemon command '$cmd' is not" \
+         "documented in the sharded-runs chapter" >&2
+    status=1
+  fi
+done
+
 if [ "$status" -ne 0 ]; then
   echo "handbook lint failed (add the entries above to docs/HANDBOOK.md)" >&2
 else
   echo "handbook lint: OK ($(echo "$scenarios" | wc -l) scenarios," \
        "$(echo "$sweeps" | wc -l) sweeps," \
-       "$(echo "$debug_cmds" | wc -w) debugger commands covered)"
+       "$(echo "$debug_cmds" | wc -w) debugger commands," \
+       "$(echo "$shard_cmds" | wc -w) shard/daemon commands covered)"
 fi
 exit $status

@@ -7,8 +7,11 @@
 //
 //   explsim sweep list                # the ablation-grid catalogue
 //   explsim sweep describe <name> [--sweep]
-//   explsim sweep run <name|file.sweep> [--resume]
+//   explsim sweep run <name|file.sweep> [--resume] [--shard=I/N]
+//   explsim sweep merge <name|file.sweep> <ckpt...> [--out=DIR]
 //   explsim sweep all [--check]       # (re)generate docs/results/sweeps/
+//   explsim sweep all --shard=I/N --out=DIR     # one shard of every grid
+//   explsim sweep all --merge-from=DIR [--check]  # reassemble + verify
 //
 // `run` accepts either a registered name or a path (anything containing
 // '/' or ending in ".scn"/".sweep" is treated as a path), so a registered
@@ -26,6 +29,15 @@
 // rerun with --resume skips the recorded points and still emits
 // byte-identical reports. A checkpoint is bound to the spec hash — edit
 // the spec (or its base scenario, or any seed) and the resume refuses.
+//
+// `--shard=I/N` runs only the round-robin subset i % N == I-1 of a grid's
+// points and *keeps* the checkpoint on completion — the checkpoint is the
+// shard's output. `sweep merge` (one grid) and `sweep all --merge-from`
+// (every grid) reassemble shard checkpoints into reports byte-identical
+// to an unsharded run: spec hashes are validated, torn final lines
+// tolerated, identical duplicate records deduplicated, conflicting ones
+// refused, and a missing point is an error naming it.
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -84,10 +96,24 @@ int usage(std::ostream& os, int code) {
         "                            <name>.ckpt next to the output)\n"
         "      [--resume]            skip points recorded in the\n"
         "                            checkpoint instead of starting over\n"
+        "      [--shard=I/N]         run only round-robin shard I of N\n"
+        "                            (1-based) and keep the checkpoint —\n"
+        "                            it is the shard's output for merge\n"
+        "  sweep merge <name|file.sweep> <ckpt...>\n"
+        "                            reassemble shard checkpoints into one\n"
+        "                            grid; reports are byte-identical to\n"
+        "                            an unsharded run\n"
+        "      [--out=DIR]           also write <name>.md + <name>.csv\n"
         "  sweep all [--out=DIR]     run every sweep and write the grids\n"
         "                            (default DIR: docs/results/sweeps)\n"
         "      [--check]             write nothing; fail on drift\n"
-        "      [--threads=N] [--resume]\n";
+        "      [--threads=N] [--resume]\n"
+        "      [--shard=I/N]         run shard I of every grid, writing\n"
+        "                            <name>.shard-I-of-N.ckpt under --out\n"
+        "      [--merge-from=DIR]    skip execution; merge every grid's\n"
+        "                            shard checkpoints found in DIR (with\n"
+        "                            --check: verify the merged reports\n"
+        "                            against the committed goldens)\n";
   return code;
 }
 
@@ -355,15 +381,34 @@ int cmd_sweep_describe(const std::string& name, bool sweep_only) {
   return 0;
 }
 
+/// A 1-based --shard=I/N selection (1/1 when the flag is absent).
+struct ShardArg {
+  std::uint32_t index = 1;
+  std::uint32_t count = 1;
+
+  bool sharded() const { return count > 1; }
+};
+
+/// The canonical shard-checkpoint filename, the naming contract between
+/// `sweep all --shard` (writer) and `sweep all --merge-from` (reader).
+std::string shard_checkpoint_path(const std::string& dir,
+                                  const std::string& sweep_name,
+                                  const ShardArg& shard) {
+  return dir + "/" + sweep_name + ".shard-" + std::to_string(shard.index) +
+         "-of-" + std::to_string(shard.count) + ".ckpt";
+}
+
 /// Run one sweep with per-point progress lines; nullopt on error (already
 /// printed). The checkpoint is only engaged when a path is supplied.
 std::optional<sweep::SweepResult> run_one_sweep(
     const sweep::SweepSpec& spec, std::uint32_t threads,
-    const std::string& checkpoint, bool resume) {
+    const std::string& checkpoint, bool resume, const ShardArg& shard) {
   sweep::SweepRunOptions options;
   options.threads = threads;
   options.checkpoint_path = checkpoint;
   options.resume = resume;
+  options.shard_index = shard.index - 1;
+  options.shard_count = shard.count;
   const std::size_t total = spec.point_count();
   options.on_point = [&](const sweep::SweepPoint& point,
                          const sweep::PointRecord& record, bool resumed) {
@@ -383,22 +428,37 @@ std::optional<sweep::SweepResult> run_one_sweep(
 
 int cmd_sweep_run(const std::string& operand, std::uint32_t threads,
                   const std::string& out_dir, std::string checkpoint,
-                  bool resume) {
+                  bool resume, const ShardArg& shard) {
   const auto spec = resolve_sweep(operand);
   if (!spec) return 1;
   if (!out_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(out_dir, ec);
   }
-  if (checkpoint.empty())
-    checkpoint = (out_dir.empty() ? spec->name : out_dir + "/" + spec->name) +
-                 ".ckpt";
+  if (checkpoint.empty()) {
+    const std::string dir = out_dir.empty() ? "." : out_dir;
+    checkpoint = shard.sharded()
+                     ? shard_checkpoint_path(dir, spec->name, shard)
+                     : dir + "/" + spec->name + ".ckpt";
+  }
   std::cout << "sweep " << spec->name << ": " << spec->point_count()
-            << " points\n";
-  const auto result = run_one_sweep(*spec, threads, checkpoint, resume);
+            << " points";
+  if (shard.sharded())
+    std::cout << ", shard " << shard.index << "/" << shard.count;
+  std::cout << "\n";
+  const auto result = run_one_sweep(*spec, threads, checkpoint, resume, shard);
   if (!result) return 1;
   std::cout << "done in " << result->wall_seconds << " s ("
             << result->resumed_points << " point(s) resumed)\n";
+  if (shard.sharded()) {
+    // A shard's records cover only its subset: the checkpoint is the
+    // deliverable, and reports come from `sweep merge` over all shards.
+    std::cout << "shard checkpoint kept at " << checkpoint
+              << " — merge all " << shard.count
+              << " shards with `explsim sweep merge " << operand
+              << " <ckpt...>`\n";
+    return 0;
+  }
   if (!out_dir.empty()) {
     const std::string md = out_dir + "/" + spec->name + ".md";
     const std::string csv = out_dir + "/" + spec->name + ".csv";
@@ -413,21 +473,119 @@ int cmd_sweep_run(const std::string& operand, std::uint32_t threads,
   return 0;
 }
 
+int cmd_sweep_merge(const std::string& operand,
+                    const std::vector<std::string>& checkpoints,
+                    const std::string& out_dir) {
+  const auto spec = resolve_sweep(operand);
+  if (!spec) return 1;
+  std::string error;
+  const auto result = sweep::merge_checkpoints(*spec, Registry::builtin(),
+                                               checkpoints, &error);
+  if (!result) {
+    std::cerr << "explsim: " << error << "\n";
+    return 1;
+  }
+  std::cout << "merged " << checkpoints.size() << " checkpoint(s): "
+            << result->records.size() << "/" << result->points.size()
+            << " points of sweep " << spec->name << "\n";
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    const std::string md = out_dir + "/" + spec->name + ".md";
+    const std::string csv = out_dir + "/" + spec->name + ".csv";
+    if (!write_file(md, sweep::sweep_markdown(*result)) ||
+        !write_file(csv, sweep::sweep_csv(*result))) {
+      std::cerr << "explsim: cannot write reports under '" << out_dir
+                << "'\n";
+      return 1;
+    }
+    std::cout << "wrote " << md << " and " << csv << "\n";
+  }
+  return 0;
+}
+
+/// Every shard checkpoint for `sweep_name` in `dir`, sorted: the
+/// `<name>.shard-I-of-N.ckpt` files `sweep all --shard` writes, plus a
+/// plain `<name>.ckpt` (an unsharded checkpoint merges fine too).
+std::vector<std::string> find_shard_checkpoints(
+    const std::string& dir, const std::string& sweep_name) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string file = entry.path().filename().string();
+    if (file.size() < 5 || file.compare(file.size() - 5, 5, ".ckpt") != 0)
+      continue;
+    if (file == sweep_name + ".ckpt" ||
+        file.rfind(sweep_name + ".shard-", 0) == 0)
+      paths.push_back(entry.path().generic_string());
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
 int cmd_sweep_all(const std::string& out_dir, bool check,
-                  std::uint32_t threads, bool resume) {
+                  std::uint32_t threads, bool resume, const ShardArg& shard,
+                  const std::string& merge_from) {
+  if (shard.sharded() && !merge_from.empty()) {
+    std::cerr << "explsim: --shard and --merge-from are mutually exclusive "
+              << "(run shards first, then merge)\n";
+    return 2;
+  }
+  if (shard.sharded() && check) {
+    std::cerr << "explsim: --check needs a full grid; run every shard, then "
+              << "`sweep all --merge-from=DIR --check`\n";
+    return 2;
+  }
+
+  // Shard mode: run shard I of every registered grid, leaving one
+  // checkpoint per grid under out_dir. No reports — those come from the
+  // merge step once every shard has run.
+  if (shard.sharded()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    for (const sweep::SweepSpec& spec : sweep::Registry::builtin().all()) {
+      std::cout << "running " << spec.name << " shard " << shard.index << "/"
+                << shard.count << " (" << spec.point_count() << " points)\n";
+      const std::string checkpoint =
+          shard_checkpoint_path(out_dir, spec.name, shard);
+      if (!run_one_sweep(spec, threads, checkpoint, resume, shard)) return 1;
+    }
+    std::cout << "shard " << shard.index << "/" << shard.count
+              << " checkpoints written under " << out_dir << "\n";
+    return 0;
+  }
+
   if (!check) {
+    // Executing (or merging) writes checkpoints/reports under out_dir.
     std::error_code ec;
     std::filesystem::create_directories(out_dir, ec);
   }
   std::vector<sweep::SweepResult> results;
   for (const sweep::SweepSpec& spec : sweep::Registry::builtin().all()) {
+    if (!merge_from.empty()) {
+      // Merge mode: reassemble this grid from its shard checkpoints
+      // instead of executing anything.
+      const auto checkpoints = find_shard_checkpoints(merge_from, spec.name);
+      std::cout << (check ? "checking " : "merging ") << spec.name << " from "
+                << checkpoints.size() << " checkpoint(s)\n";
+      std::string error;
+      auto result = sweep::merge_checkpoints(spec, Registry::builtin(),
+                                             checkpoints, &error);
+      if (!result) {
+        std::cerr << "explsim: " << error << "\n";
+        return 1;
+      }
+      results.push_back(std::move(*result));
+      continue;
+    }
     std::cout << (check ? "checking " : "running ") << spec.name << " ("
               << spec.point_count() << " points)\n";
     // --check must not leave state behind; otherwise checkpoint next to
     // the outputs so a killed regeneration resumes with --resume.
     const std::string checkpoint =
         check ? std::string() : out_dir + "/" + spec.name + ".ckpt";
-    auto result = run_one_sweep(spec, threads, checkpoint, resume);
+    auto result = run_one_sweep(spec, threads, checkpoint, resume, shard);
     if (!result) return 1;
     results.push_back(std::move(*result));
   }
@@ -464,6 +622,8 @@ int main(int argc, char** argv) {
   std::uint32_t trial = 0;
   std::string out_dir;
   std::string checkpoint;
+  std::string merge_from;
+  ShardArg shard;
   for (int i = first_option; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--scn") {
@@ -497,6 +657,33 @@ int main(int argc, char** argv) {
       out_dir = arg.substr(std::strlen("--out="));
     } else if (arg.rfind("--checkpoint=", 0) == 0) {
       checkpoint = arg.substr(std::strlen("--checkpoint="));
+    } else if (arg.rfind("--merge-from=", 0) == 0) {
+      merge_from = arg.substr(std::strlen("--merge-from="));
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      // --shard=I/N, 1-based: shard I of N round-robin shards.
+      const std::string value = arg.substr(std::strlen("--shard="));
+      const std::size_t slash = value.find('/');
+      bool ok = slash != std::string::npos;
+      unsigned long index = 0;
+      unsigned long count = 0;
+      if (ok) {
+        char* end = nullptr;
+        const std::string i_text = value.substr(0, slash);
+        const std::string n_text = value.substr(slash + 1);
+        index = std::strtoul(i_text.c_str(), &end, 10);
+        ok = !i_text.empty() && *end == '\0';
+        if (ok) {
+          count = std::strtoul(n_text.c_str(), &end, 10);
+          ok = !n_text.empty() && *end == '\0';
+        }
+      }
+      if (!ok || count == 0 || count > 1024 || index == 0 || index > count) {
+        std::cerr << "explsim: bad --shard value '" << value
+                  << "' (want I/N with 1 <= I <= N <= 1024)\n";
+        return 2;
+      }
+      shard.index = static_cast<std::uint32_t>(index);
+      shard.count = static_cast<std::uint32_t>(count);
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "explsim: unknown option '" << arg << "'\n";
       return usage(std::cerr, 2);
@@ -510,11 +697,17 @@ int main(int argc, char** argv) {
     if (command == "describe" && operands.size() == 1)
       return cmd_sweep_describe(operands[0], sweep_only);
     if (command == "run" && operands.size() == 1)
-      return cmd_sweep_run(operands[0], threads, out_dir, checkpoint, resume);
+      return cmd_sweep_run(operands[0], threads, out_dir, checkpoint, resume,
+                           shard);
+    if (command == "merge" && operands.size() >= 2)
+      return cmd_sweep_merge(
+          operands[0],
+          std::vector<std::string>(operands.begin() + 1, operands.end()),
+          out_dir);
     if (command == "all" && operands.empty())
       return cmd_sweep_all(
           out_dir.empty() ? "docs/results/sweeps" : out_dir, check, threads,
-          resume);
+          resume, shard, merge_from);
     return usage(std::cerr, 2);
   }
 

@@ -1,0 +1,312 @@
+// explsimd — the long-running experiment daemon over a spool directory.
+//
+//   explsimd serve  [--spool=DIR] [--workers=N] [--once]
+//   explsimd submit <scenario|sweep> <name> [--spool=DIR] [--threads=N]
+//   explsimd status [<id>] [--spool=DIR]
+//   explsimd report <id> [--csv] [--spool=DIR]
+//
+// The daemon speaks the one-line service::protocol format over files:
+// `submit` resolves a request to its content-bound job id and drops
+// `<spool>/queue/<id>.req` (tmp + rename, so a crash never leaves a torn
+// submission); a running `serve` polls the queue directory, dedupes by
+// id, and executes jobs on a bounded worker pool, writing reports into
+// `<spool>/done/` and filing exhausted retries under `<spool>/failed/`.
+// Because both sides meet only in the filesystem, submissions survive
+// daemon restarts: `serve` rescans the queue on startup and sweep jobs
+// resume from `<spool>/checkpoints/<id>.ckpt` instead of recomputing.
+//
+// `serve --once` drains the queue and exits (the CI/integration mode);
+// without it the daemon polls until SIGINT/SIGTERM, then shuts down
+// gracefully — in-flight sweeps stop at the next point boundary and keep
+// their checkpoint, so nothing is lost and nothing is rerun.
+//
+// `status` and `report` need no daemon: job state is fully determined by
+// which spool file holds the id (queue/ = pending, done/ = completed,
+// failed/ = gave up), so they just look.
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+#include "support/config.hpp"
+#include "sweep/registry.hpp"
+
+using namespace explframe;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop_signal(int) { g_stop = 1; }
+
+int usage(std::ostream& os, int code) {
+  os << "usage: explsimd <command> [options]\n"
+        "\n"
+        "  serve                     run the daemon over the spool\n"
+        "      [--spool=DIR]         spool root (default: explsimd-spool)\n"
+        "      [--workers=N]         worker threads (default 2)\n"
+        "      [--once]              drain the queued jobs and exit\n"
+        "                            (non-zero if any job failed)\n"
+        "  submit <scenario|sweep> <name>\n"
+        "                            spool one job; prints its id. The id\n"
+        "                            binds the experiment's content, so\n"
+        "                            duplicate submissions collapse and a\n"
+        "                            completed job is served from cache\n"
+        "      [--threads=N]         inner worker threads (wall-clock only)\n"
+        "      [--spool=DIR]\n"
+        "  status [<id>]             one job's state, or every spooled job\n"
+        "      [--spool=DIR]\n"
+        "  report <id> [--csv]       print a completed job's report bytes\n"
+        "      [--spool=DIR]\n";
+  return code;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Tool-side durable submission write: temp file then atomic rename, the
+/// same discipline Service uses, so a concurrently polling daemon never
+/// reads a half-written request.
+bool spool_write(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << content;
+    if (!out.flush()) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+/// The spool-derived state of an id: which directory holds it.
+std::string spool_state(const std::string& spool, const std::string& id) {
+  namespace fs = std::filesystem;
+  if (fs::exists(spool + "/done/" + id + ".md")) return "done";
+  if (fs::exists(spool + "/failed/" + id + ".err")) return "failed";
+  if (fs::exists(spool + "/queue/" + id + ".req")) return "queued";
+  return "unknown";
+}
+
+int cmd_serve(const std::string& spool, std::uint32_t workers, bool once) {
+  service::ServiceOptions options;
+  options.spool_dir = spool;
+  options.workers = workers;
+  service::Service daemon(options, scenario::Registry::builtin(),
+                          sweep::Registry::builtin());
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+
+  if (!once) {
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    std::cout << "explsimd: serving spool '" << spool << "' with " << workers
+              << " worker(s); SIGINT/SIGTERM drains gracefully\n";
+    namespace fs = std::filesystem;
+    while (!g_stop) {
+      // Pick up submissions dropped by other processes. Dedupe makes the
+      // rescan idempotent, so re-seeing a tracked .req costs nothing.
+      for (const auto& entry : fs::directory_iterator(spool + "/queue")) {
+        if (entry.path().extension() != ".req") continue;
+        const std::string id = entry.path().stem().string();
+        if (daemon.status(id)) continue;
+        const auto text = read_file(entry.path().string());
+        if (!text) continue;
+        std::string line = *text;
+        while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+          line.pop_back();
+        std::string submit_error;
+        if (!daemon.submit_line(line, &submit_error)) {
+          std::cerr << "explsimd: rejecting '" << entry.path().string()
+                    << "': " << submit_error << "\n";
+          std::error_code ec;
+          fs::rename(entry.path(),
+                     fs::path(entry.path().string() + ".rejected"), ec);
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::cout << "explsimd: stopping (in-flight sweeps cancel at the next "
+                 "point boundary; checkpoints are kept for resume)\n";
+    daemon.shutdown(service::Service::Shutdown::kCancel);
+  } else {
+    daemon.drain();
+    daemon.shutdown(service::Service::Shutdown::kDrain);
+  }
+
+  int failed = 0;
+  for (const service::Job& job : daemon.jobs()) {
+    std::cout << job.id << " " << to_string(job.state) << " attempts="
+              << job.attempts << " requeues=" << job.requeues;
+    if (!job.error.empty()) std::cout << " error: " << job.error;
+    std::cout << "\n";
+    if (job.state == service::JobState::kFailed) failed += 1;
+  }
+  std::cout << "explsimd: " << daemon.executions() << " execution(s), "
+            << failed << " failed\n";
+  return once && failed > 0 ? 1 : 0;
+}
+
+int cmd_submit(const std::string& spool, const std::string& kind_name,
+               const std::string& name, std::uint32_t threads) {
+  const auto kind = service::job_kind_from_string(kind_name);
+  if (!kind) {
+    std::cerr << "error: unknown kind '" << kind_name
+              << "' (want scenario or sweep)\n";
+    return 2;
+  }
+  service::JobRequest request;
+  request.kind = *kind;
+  request.name = name;
+  request.threads = threads;
+  std::string error;
+  const auto id = service::job_id(request, scenario::Registry::builtin(),
+                                  sweep::Registry::builtin(), &error);
+  if (!id) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  namespace fs = std::filesystem;
+  if (fs::exists(spool + "/done/" + *id + ".md")) {
+    std::cout << *id << " cached\n";
+    return 0;
+  }
+  std::error_code ec;
+  fs::create_directories(spool + "/queue", ec);
+  if (ec) {
+    std::cerr << "error: cannot create spool '" << spool
+              << "/queue': " << ec.message() << "\n";
+    return 1;
+  }
+  const std::string path = spool + "/queue/" + *id + ".req";
+  const bool duplicate = fs::exists(path);
+  if (!spool_write(path, request.serialize() + "\n")) {
+    std::cerr << "error: cannot write '" << path << "'\n";
+    return 1;
+  }
+  std::cout << *id << (duplicate ? " deduped" : " submitted") << "\n";
+  return 0;
+}
+
+int cmd_status(const std::string& spool, const std::string& id) {
+  namespace fs = std::filesystem;
+  if (!id.empty()) {
+    const std::string state = spool_state(spool, id);
+    std::cout << id << " " << state << "\n";
+    if (state == "failed") {
+      if (const auto why = read_file(spool + "/failed/" + id + ".err"))
+        std::cout << "  " << trim_copy(*why) << "\n";
+    }
+    return state == "unknown" ? 1 : 0;
+  }
+  // Every id the spool knows, each printed once, stable order.
+  std::vector<std::string> ids;
+  const auto collect = [&](const std::string& sub, const std::string& ext) {
+    std::error_code ec;
+    for (const auto& entry :
+         fs::directory_iterator(spool + "/" + sub, ec)) {
+      if (entry.path().extension() != ext) continue;
+      const std::string found = entry.path().stem().string();
+      bool seen = false;
+      for (const std::string& existing : ids) seen = seen || existing == found;
+      if (!seen) ids.push_back(found);
+    }
+  };
+  collect("queue", ".req");
+  collect("done", ".md");
+  collect("failed", ".err");
+  std::sort(ids.begin(), ids.end());
+  for (const std::string& found : ids)
+    std::cout << found << " " << spool_state(spool, found) << "\n";
+  return 0;
+}
+
+int cmd_report(const std::string& spool, const std::string& id, bool csv) {
+  const std::string path =
+      spool + "/done/" + id + "." + (csv ? "csv" : "md");
+  const auto text = read_file(path);
+  if (!text) {
+    std::cerr << "error: no completed report at '" << path
+              << "' (status: " << spool_state(spool, id) << ")\n";
+    return 1;
+  }
+  std::cout << *text;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage(std::cerr, 2);
+
+  std::string spool = "explsimd-spool";
+  std::uint32_t workers = 2;
+  std::uint32_t threads = 0;
+  bool once = false;
+  bool csv = false;
+  std::vector<std::string> operands;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--spool=", 0) == 0) {
+      spool = arg.substr(8);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      const auto value = parse_u64(arg.substr(10));
+      if (!value || *value == 0 || *value > 64) {
+        std::cerr << "error: bad --workers value (want 1..64)\n";
+        return 2;
+      }
+      workers = static_cast<std::uint32_t>(*value);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const auto value = parse_u64(arg.substr(10));
+      if (!value || *value > 256) {
+        std::cerr << "error: bad --threads value (want 0..256)\n";
+        return 2;
+      }
+      threads = static_cast<std::uint32_t>(*value);
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "error: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      operands.push_back(arg);
+    }
+  }
+
+  const std::string& command = args[0];
+  if (command == "serve" && operands.empty())
+    return cmd_serve(spool, workers, once);
+  if (command == "submit" && operands.size() == 2)
+    return cmd_submit(spool, operands[0], operands[1], threads);
+  if (command == "status" && operands.size() <= 1)
+    return cmd_status(spool, operands.empty() ? "" : operands[0]);
+  if (command == "report" && operands.size() == 1)
+    return cmd_report(spool, operands[0], csv);
+  if (command == "--help" || command == "-h") return usage(std::cout, 0);
+  return usage(std::cerr, 2);
+}
