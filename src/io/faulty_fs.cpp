@@ -1,0 +1,294 @@
+#include "io/faulty_fs.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace explframe::io {
+
+// Not in an anonymous namespace: FaultyFs befriends this exact class so
+// it may drive note()/charge_capacity().
+/// A buffering handle over a base File. Writes accumulate in memory;
+/// sync() flushes + fsyncs them to the base (durable); a clean close()
+/// flushes without the durability guarantee; a crash drops everything
+/// still buffered — the page-cache loss model the file comment in
+/// faulty_fs.hpp describes.
+class FaultyFile final : public File {
+ public:
+  FaultyFile(FaultyFs& fs, std::string path, std::unique_ptr<File> base)
+      : fs_(fs), path_(std::move(path)), base_(std::move(base)) {}
+
+  ~FaultyFile() override {
+    if (!closed_) (void)close();
+  }
+
+  Status write(const std::string& bytes) override {
+    const FaultyFs::Injection what = fs_.note(Op::kWrite, path_);
+    if (what.kind == FaultyFs::Injection::Kind::kCrash) {
+      // Crash mid-write: nothing from this write survives (it was never
+      // synced), and everything still pending is lost with the process.
+      pending_.clear();
+      return what.status;
+    }
+    if (what.kind == FaultyFs::Injection::Kind::kFail) {
+      if (what.short_keep) {
+        const std::size_t keep = std::min(*what.short_keep, bytes.size());
+        pending_.append(bytes, 0, fs_.charge_capacity(keep));
+      }
+      return what.status;
+    }
+    const std::size_t fit = fs_.charge_capacity(bytes.size());
+    pending_.append(bytes, 0, fit);
+    if (fit < bytes.size())
+      return Status::permanent_error("short write to '" + path_ +
+                                     "' (ENOSPC)");
+    return Status::ok_status();
+  }
+
+  Status sync() override {
+    const FaultyFs::Injection what = fs_.note(Op::kSync, path_);
+    if (what.kind == FaultyFs::Injection::Kind::kCrash) {
+      // Crash mid-sync: the torn-write case. Half of the pending bytes
+      // reach the disk, the rest die with the process.
+      (void)base_->write(pending_.substr(0, pending_.size() / 2));
+      pending_.clear();
+      return what.status;
+    }
+    if (what.kind == FaultyFs::Injection::Kind::kFail) return what.status;
+    Status status = flush();
+    if (status.ok()) status = base_->sync();
+    return status;
+  }
+
+  Status close() override {
+    if (closed_) return Status::ok_status();
+    closed_ = true;
+    const FaultyFs::Injection what = fs_.note(Op::kClose, path_);
+    if (what.kind == FaultyFs::Injection::Kind::kCrash) {
+      pending_.clear();
+      (void)base_->close();
+      return what.status;
+    }
+    if (what.kind == FaultyFs::Injection::Kind::kFail) {
+      // A failed close loses what was never flushed, like the real thing.
+      pending_.clear();
+      (void)base_->close();
+      return what.status;
+    }
+    Status status = flush();
+    const Status closed = base_->close();
+    return status.ok() ? closed : status;
+  }
+
+ private:
+  /// Move the pending buffer into the base file (no fsync).
+  Status flush() {
+    if (pending_.empty()) return Status::ok_status();
+    const Status status = base_->write(pending_);
+    if (status.ok()) pending_.clear();
+    return status;
+  }
+
+  FaultyFs& fs_;
+  const std::string path_;
+  std::unique_ptr<File> base_;
+  std::string pending_;
+  bool closed_ = false;
+};
+
+std::string FaultyFs::OpRecord::describe(std::uint64_t index) const {
+  return std::string(to_string(op)) + "@op#" + std::to_string(index) + " " +
+         path;
+}
+
+void FaultyFs::fail_nth(Op op, std::uint64_t nth, Status status) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Fault fault;
+  fault.op = op;
+  fault.nth = nth;
+  fault.status = std::move(status);
+  faults_.push_back(std::move(fault));
+}
+
+void FaultyFs::fail_from(Op op, std::uint64_t nth, Status status) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Fault fault;
+  fault.op = op;
+  fault.nth = nth;
+  fault.sticky = true;
+  fault.status = std::move(status);
+  faults_.push_back(std::move(fault));
+}
+
+void FaultyFs::short_write_nth(std::uint64_t nth, std::size_t keep_bytes,
+                               Status status) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Fault fault;
+  fault.op = Op::kWrite;
+  fault.nth = nth;
+  fault.status = std::move(status);
+  fault.short_keep = keep_bytes;
+  faults_.push_back(std::move(fault));
+}
+
+void FaultyFs::set_capacity(std::optional<std::uint64_t> bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = bytes;
+  written_bytes_ = 0;
+}
+
+void FaultyFs::crash_at_op(std::uint64_t index) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  crash_op_ = index;
+}
+
+void FaultyFs::crash_at_point(std::string name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  crash_point_name_ = std::move(name);
+}
+
+void FaultyFs::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  faults_.clear();
+  trace_.clear();
+  visited_points_.clear();
+  per_op_count_.clear();
+  capacity_.reset();
+  written_bytes_ = 0;
+  crash_op_.reset();
+  crash_point_name_.reset();
+  crashed_ = false;
+}
+
+std::vector<FaultyFs::OpRecord> FaultyFs::trace() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return trace_;
+}
+
+std::uint64_t FaultyFs::op_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return trace_.size();
+}
+
+std::vector<std::string> FaultyFs::visited_points() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return visited_points_;
+}
+
+bool FaultyFs::crashed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+Status FaultyFs::crashed_status() {
+  return Status::permanent_error("simulated process crash");
+}
+
+FaultyFs::Injection FaultyFs::note(Op op, const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t global = trace_.size();
+  OpRecord record;
+  record.op = op;
+  record.path = path;
+  trace_.push_back(std::move(record));
+  const std::uint64_t nth = per_op_count_[op]++;
+
+  Injection out;
+  if (crashed_) {
+    out.kind = Injection::Kind::kCrash;
+    out.status = crashed_status();
+    return out;
+  }
+  if (crash_op_ && global >= *crash_op_) {
+    crashed_ = true;
+    out.kind = Injection::Kind::kCrash;
+    out.status = crashed_status();
+    return out;
+  }
+  for (Fault& fault : faults_) {
+    if (fault.op != op) continue;
+    const bool hit = fault.sticky ? nth >= fault.nth
+                                  : (nth == fault.nth && !fault.fired);
+    if (!hit) continue;
+    fault.fired = true;
+    out.kind = Injection::Kind::kFail;
+    out.status = fault.status;
+    out.short_keep = fault.short_keep;
+    return out;
+  }
+  return out;
+}
+
+std::size_t FaultyFs::charge_capacity(std::size_t bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!capacity_) return bytes;
+  const std::uint64_t room =
+      written_bytes_ >= *capacity_ ? 0 : *capacity_ - written_bytes_;
+  const std::size_t fit =
+      static_cast<std::size_t>(std::min<std::uint64_t>(room, bytes));
+  written_bytes_ += fit;
+  return fit;
+}
+
+Status FaultyFs::open(const std::string& path, OpenMode mode,
+                      std::unique_ptr<File>* out) {
+  const Injection what = note(Op::kOpen, path);
+  if (what.kind != Injection::Kind::kNone) return what.status;
+  std::unique_ptr<File> base_file;
+  const Status status = base_.open(path, mode, &base_file);
+  if (!status.ok()) return status;
+  *out = std::make_unique<FaultyFile>(*this, path, std::move(base_file));
+  return Status::ok_status();
+}
+
+Status FaultyFs::read_file(const std::string& path, std::string* out) {
+  const Injection what = note(Op::kRead, path);
+  if (what.kind != Injection::Kind::kNone) return what.status;
+  return base_.read_file(path, out);
+}
+
+Status FaultyFs::rename(const std::string& from, const std::string& to) {
+  const Injection what = note(Op::kRename, from);
+  if (what.kind != Injection::Kind::kNone) return what.status;
+  return base_.rename(from, to);
+}
+
+Status FaultyFs::remove(const std::string& path) {
+  const Injection what = note(Op::kRemove, path);
+  if (what.kind != Injection::Kind::kNone) return what.status;
+  return base_.remove(path);
+}
+
+Status FaultyFs::list(const std::string& dir,
+                      std::vector<std::string>* names) {
+  const Injection what = note(Op::kList, dir);
+  if (what.kind != Injection::Kind::kNone) return what.status;
+  return base_.list(dir, names);
+}
+
+Status FaultyFs::truncate(const std::string& path, std::uint64_t size) {
+  const Injection what = note(Op::kTruncate, path);
+  if (what.kind != Injection::Kind::kNone) return what.status;
+  return base_.truncate(path, size);
+}
+
+Status FaultyFs::create_directories(const std::string& path) {
+  const Injection what = note(Op::kMkdir, path);
+  if (what.kind != Injection::Kind::kNone) return what.status;
+  return base_.create_directories(path);
+}
+
+bool FaultyFs::exists(const std::string& path) const {
+  // Advisory probe: recorded nowhere, never scripted — the crash model
+  // only cares about operations with effects or payloads.
+  return base_.exists(path);
+}
+
+void FaultyFs::crash_point(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (std::find(visited_points_.begin(), visited_points_.end(), name) ==
+      visited_points_.end())
+    visited_points_.push_back(name);
+  if (crash_point_name_ && *crash_point_name_ == name) crashed_ = true;
+}
+
+}  // namespace explframe::io

@@ -1,0 +1,163 @@
+// io::FaultyFs — a scripted fault-injecting FileSystem for the torture
+// suites.
+//
+// FaultyFs wraps a base filesystem (normally io::real()) and executes a
+// deterministic failure plan on top of it:
+//
+//   fail_nth / fail_from    fail the Nth (or every >= Nth) operation of a
+//                           kind with a chosen Status — "the 3rd fsync
+//                           returns EIO", "every rename fails ENOSPC";
+//   short_write_nth         the Nth write persists only a prefix before
+//                           failing (the POSIX short-write case);
+//   set_capacity            ENOSPC once the cumulative bytes written
+//                           through the filesystem exceed a budget —
+//                           partial bytes that fit are kept, modelling a
+//                           disk that fills mid-file;
+//   crash_at_op /           abandon the process state mid-operation: the
+//   crash_at_point          op (or the named io::crash_point) has at most
+//                           a partial effect, every *later* operation
+//                           fails, and all bytes written but never
+//                           sync()ed are DROPPED — the page-cache loss a
+//                           real crash inflicts.
+//
+// Durability model: writes buffer in memory; File::sync() flushes the
+// buffer to the base filesystem and fsyncs it (durable); a clean
+// File::close() flushes without the durability guarantee (visible, and
+// kept here since the process did not crash). A crash at a sync flushes
+// only HALF of the pending bytes — the torn write the checkpoint format's
+// torn-tail tolerance exists for.
+//
+// Every operation is recorded in an in-order trace, so a torture harness
+// first runs a counting pass (no faults), then re-runs the pipeline once
+// per recorded operation index with a crash or error injected there —
+// enumerating every failure point instead of sampling a few.
+//
+// Thread-safe (the Service worker pool runs through it under TSan);
+// deterministic (no clocks, no randomness — the plan is the only input).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/fs.hpp"
+
+namespace explframe::io {
+
+/// The scripted fault-injecting filesystem (see the file comment).
+class FaultyFs final : public FileSystem {
+ public:
+  /// One recorded operation: its kind and primary path, in global order.
+  struct OpRecord {
+    Op op = Op::kOpen;
+    std::string path;
+
+    /// "write#3 foo/bar.req" — the name torture trace logs print.
+    std::string describe(std::uint64_t index) const;
+  };
+
+  /// Wraps `base` (which outlives this object); no faults armed.
+  explicit FaultyFs(FileSystem& base) : base_(base) {}
+
+  // ---- Scripting -----------------------------------------------------------
+
+  /// Fail the `nth` (0-based, per-kind) operation of kind `op` with
+  /// `status`, once.
+  void fail_nth(Op op, std::uint64_t nth, Status status);
+  /// Fail every operation of kind `op` from the `nth` on with `status`
+  /// (a persistently broken disk).
+  void fail_from(Op op, std::uint64_t nth, Status status);
+  /// The `nth` write persists only `keep_bytes` of its payload, then
+  /// fails with `status` (a short write).
+  void short_write_nth(std::uint64_t nth, std::size_t keep_bytes,
+                       Status status);
+  /// ENOSPC once cumulative bytes written exceed `bytes`; what fits is
+  /// kept. Pass nullopt to lift the limit.
+  void set_capacity(std::optional<std::uint64_t> bytes);
+  /// Simulate a process crash at global operation index `index` (0-based
+  /// over all kinds, the trace order of a counting pass). If `index` has
+  /// already passed, the crash fires at the next operation instead —
+  /// arming never silently does nothing.
+  void crash_at_op(std::uint64_t index);
+  /// Simulate a process crash at the named io::crash_point.
+  void crash_at_point(std::string name);
+  /// Forget the plan, counters, trace and crash state. Files written to
+  /// the base filesystem stay — this is "replace the disk", not "wipe it".
+  void reset();
+
+  // ---- Introspection -------------------------------------------------------
+
+  /// Every operation observed since construction/reset, in order.
+  std::vector<OpRecord> trace() const;
+  /// Total operations observed (the exclusive bound for crash_at_op).
+  std::uint64_t op_count() const;
+  /// Crash-point names visited, in first-visit order (the torture
+  /// harness asserts its pipeline covers the registered list).
+  std::vector<std::string> visited_points() const;
+  /// True once a scripted crash has triggered.
+  bool crashed() const;
+
+  // ---- FileSystem ----------------------------------------------------------
+
+  /// All operations honour the plan; after a crash they all fail and
+  /// have no effect. See the file comment for the durability model.
+  Status open(const std::string& path, OpenMode mode,
+              std::unique_ptr<File>* out) override;
+  Status read_file(const std::string& path, std::string* out) override;
+  Status rename(const std::string& from, const std::string& to) override;
+  Status remove(const std::string& path) override;
+  Status list(const std::string& dir,
+              std::vector<std::string>* names) override;
+  Status truncate(const std::string& path, std::uint64_t size) override;
+  Status create_directories(const std::string& path) override;
+  bool exists(const std::string& path) const override;
+  void crash_point(const std::string& name) override;
+
+ private:
+  friend class FaultyFile;  ///< The buffering File handle (faulty_fs.cpp).
+
+  /// One scripted failure.
+  struct Fault {
+    Op op = Op::kOpen;
+    std::uint64_t nth = 0;
+    bool sticky = false;        ///< fail_from (>= nth) vs fail_nth (== nth).
+    bool fired = false;         ///< One-shot faults fire once.
+    Status status;
+    std::optional<std::size_t> short_keep;  ///< Short write: bytes kept.
+  };
+
+  /// What note() decided to do to the operation it just recorded.
+  struct Injection {
+    /// Let it through, fail it with `status`, or crash the "process".
+    enum class Kind { kNone, kFail, kCrash } kind = Kind::kNone;
+    Status status;                          ///< The error, when not kNone.
+    std::optional<std::size_t> short_keep;  ///< Short write: bytes kept.
+  };
+
+  /// Record the operation in the trace, advance the counters, and decide
+  /// whether to let it through, fail it, or crash (takes the lock).
+  Injection note(Op op, const std::string& path);
+  /// The "everything fails after the crash" status.
+  static Status crashed_status();
+  /// Charge `bytes` against the capacity budget (takes the lock);
+  /// returns how many fit.
+  std::size_t charge_capacity(std::size_t bytes);
+
+  FileSystem& base_;
+  mutable std::mutex mutex_;
+  std::vector<Fault> faults_;
+  std::vector<OpRecord> trace_;
+  std::vector<std::string> visited_points_;
+  std::map<Op, std::uint64_t> per_op_count_;
+  std::optional<std::uint64_t> capacity_;
+  std::uint64_t written_bytes_ = 0;
+  std::optional<std::uint64_t> crash_op_;
+  std::optional<std::string> crash_point_name_;
+  bool crashed_ = false;
+};
+
+}  // namespace explframe::io

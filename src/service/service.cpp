@@ -1,12 +1,6 @@
 #include "service/service.hpp"
 
-#include <unistd.h>
-
 #include <algorithm>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "scenario/report.hpp"
@@ -18,49 +12,15 @@ namespace explframe::service {
 
 namespace {
 
-namespace fs = std::filesystem;
-
-std::optional<std::string> read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-/// Write `content` durably: unique temp file, fwrite + fsync, then an
-/// atomic rename onto `path`. A crash leaves either the old file or the
-/// new one, never a torn mix — the property both the .req acknowledgement
-/// and the done-cache rely on.
-bool durable_write(const std::string& path, const std::string& content) {
-  static std::atomic<std::uint64_t> tmp_counter{0};
-  const std::string tmp =
-      path + ".tmp" + std::to_string(tmp_counter.fetch_add(1));
-  std::FILE* file = std::fopen(tmp.c_str(), "wb");
-  if (!file) return false;
-  const bool wrote =
-      content.empty() ||
-      std::fwrite(content.data(), 1, content.size(), file) == content.size();
-  const bool flushed = wrote && std::fflush(file) == 0;
-  if (flushed) ::fsync(::fileno(file));
-  std::fclose(file);
-  if (!flushed) {
-    std::error_code ec;
-    fs::remove(tmp, ec);
-    return false;
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    return false;
-  }
-  return true;
-}
-
 bool fail_with(std::string* error, const std::string& what) {
   if (error) *error = what;
   return false;
+}
+
+/// True for the "<name>.tmp<N>" debris an interrupted durable_write can
+/// leave behind (its cleanup is best effort; a crash mid-publish is not).
+bool is_tmp_debris(const std::string& name) {
+  return name.find(".tmp") != std::string::npos;
 }
 
 }  // namespace
@@ -73,6 +33,10 @@ Service::Service(ServiceOptions options, const scenario::Registry& scenarios,
       queue_(options_.max_attempts) {}
 
 Service::~Service() { shutdown(Shutdown::kCancel); }
+
+io::FileSystem& Service::fs() const {
+  return options_.fs ? *options_.fs : io::real();
+}
 
 std::string Service::queue_path(const std::string& id) const {
   return options_.spool_dir + "/queue/" + id + ".req";
@@ -91,31 +55,57 @@ std::string Service::failed_path(const std::string& id) const {
   return options_.spool_dir + "/failed/" + id + ".err";
 }
 
+std::string Service::degraded_reason() const {
+  const std::lock_guard<std::mutex> lock(degraded_mutex_);
+  return degraded_reason_;
+}
+
+void Service::enter_degraded(const std::string& reason) {
+  const std::lock_guard<std::mutex> lock(degraded_mutex_);
+  if (degraded_.exchange(true)) return;  // First failure wins.
+  degraded_reason_ = reason;
+}
+
 bool Service::start(std::string* error) {
   EXPLFRAME_CHECK(!running_.load());
   for (const char* sub : {"queue", "checkpoints", "done", "failed"}) {
-    std::error_code ec;
-    fs::create_directories(options_.spool_dir + "/" + sub, ec);
-    if (ec)
-      return fail_with(error, "cannot create spool directory '" +
-                                  options_.spool_dir + "/" + sub +
-                                  "': " + ec.message());
+    const std::string dir = options_.spool_dir + "/" + sub;
+    const io::Status made = io::with_retry(
+        io::kDefaultRetryAttempts, [&] { return fs().create_directories(dir); });
+    if (!made.ok())
+      return fail_with(error, "cannot create spool directory '" + dir +
+                                  "': " + made.message());
+  }
+
+  // Sweep out "<name>.tmpN" debris a crash mid-durable_write can strand
+  // (the failure paths clean up after themselves, but nothing can clean
+  // up after a real kill). Best effort: debris is inert, never read.
+  for (const char* sub : {"queue", "checkpoints", "done", "failed"}) {
+    const std::string dir = options_.spool_dir + "/" + sub;
+    std::vector<std::string> names;
+    if (!fs().list(dir, &names).ok()) continue;
+    for (const std::string& name : names)
+      if (is_tmp_debris(name)) (void)fs().remove(dir + "/" + name);
   }
 
   // Re-enqueue every submission a previous process accepted but never
-  // retired. Sorted for a deterministic startup order.
-  std::vector<std::string> survivors;
-  for (const auto& entry :
-       fs::directory_iterator(options_.spool_dir + "/queue")) {
-    const std::string path = entry.path().string();
-    if (entry.path().extension() == ".req") survivors.push_back(path);
-  }
-  std::sort(survivors.begin(), survivors.end());
-  for (const std::string& path : survivors) {
-    const auto text = read_file(path);
-    if (!text)
-      return fail_with(error, "cannot read spooled request '" + path + "'");
-    std::string line = *text;
+  // retired. list() returns sorted names — a deterministic startup order.
+  std::vector<std::string> names;
+  const io::Status listed = io::with_retry(io::kDefaultRetryAttempts, [&] {
+    return fs().list(options_.spool_dir + "/queue", &names);
+  });
+  if (!listed.ok())
+    return fail_with(error, "cannot scan spool queue: " + listed.message());
+  for (const std::string& name : names) {
+    if (name.size() < 4 || name.substr(name.size() - 4) != ".req") continue;
+    const std::string path = options_.spool_dir + "/queue/" + name;
+    std::string text;
+    const io::Status read = io::with_retry(
+        io::kDefaultRetryAttempts, [&] { return fs().read_file(path, &text); });
+    if (!read.ok())
+      return fail_with(error, "cannot read spooled request '" + path +
+                                  "': " + read.message());
+    std::string line = text;
     while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
       line.pop_back();
     std::string parse_error;
@@ -128,11 +118,10 @@ bool Service::start(std::string* error) {
     if (!id)
       return fail_with(error, "stale spooled request '" + path +
                                   "': " + id_error);
-    if (fs::exists(done_path(*id, "md"))) {
-      // Completed by a previous process; the rename beat the crash but
-      // the .req removal did not. Retire it now.
-      std::error_code ec;
-      fs::remove(path, ec);
+    if (fs().exists(done_path(*id, "md"))) {
+      // Completed by a previous process; the commit record beat the crash
+      // but the .req removal did not. Retire it now.
+      (void)fs().remove(path);
       continue;
     }
     queue_.submit(*id, *request);
@@ -147,11 +136,14 @@ bool Service::start(std::string* error) {
 }
 
 std::optional<SubmitOutcome> Service::submit(const JobRequest& request,
-                                             std::string* error) {
+                                             std::string* error,
+                                             SubmitError* why) {
+  if (why) *why = SubmitError::kNone;
   SubmitOutcome outcome;
   std::string id_error;
   const auto id = job_id(request, scenarios_, sweeps_, &id_error);
   if (!id) {
+    if (why) *why = SubmitError::kBadRequest;
     fail_with(error, id_error);
     return std::nullopt;
   }
@@ -159,20 +151,35 @@ std::optional<SubmitOutcome> Service::submit(const JobRequest& request,
 
   const auto tracked = queue_.find(*id);
   const bool done_in_queue = tracked && tracked->state == JobState::kDone;
-  if (done_in_queue ||
-      (!tracked && fs::exists(done_path(*id, "md")))) {
+  if (done_in_queue || (!tracked && fs().exists(done_path(*id, "md")))) {
     outcome.cached = true;
     return outcome;
   }
 
-  // Durable before acknowledged: the .req file is what survives a crash.
-  // Identical concurrent submissions write identical bytes, and the
-  // rename makes the last writer win harmlessly.
-  if (!durable_write(queue_path(*id), request.serialize() + "\n")) {
-    fail_with(error,
-              "cannot spool request into '" + queue_path(*id) + "'");
+  // Degraded read-only mode: the spool is known-unwritable, so accepting
+  // the job would be a lie — it could never survive a crash. Cached
+  // reports were already served above; everything else is rejected with
+  // a structured error (explsimd maps it to its own exit code).
+  if (degraded_.load()) {
+    if (why) *why = SubmitError::kUnavailable;
+    fail_with(error, "service is degraded (read-only): " + degraded_reason());
     return std::nullopt;
   }
+
+  // Durable before acknowledged: the .req file is what survives a crash.
+  // Identical concurrent submissions write identical bytes, and the
+  // rename makes the last writer win harmlessly. Transient failures are
+  // retried inside durable_write; a permanent one degrades the service.
+  const io::Status spooled =
+      io::durable_write(fs(), queue_path(*id), request.serialize() + "\n");
+  if (!spooled.ok()) {
+    if (spooled.permanent()) enter_degraded(spooled.message());
+    if (why) *why = SubmitError::kUnavailable;
+    fail_with(error, "cannot spool request into '" + queue_path(*id) +
+                         "': " + spooled.message());
+    return std::nullopt;
+  }
+  fs().crash_point("service.submit.spooled");
   const JobQueue::Submitted submitted = queue_.submit(*id, request);
   outcome.accepted = submitted.enqueued;
   outcome.deduped = submitted.deduped;
@@ -180,14 +187,16 @@ std::optional<SubmitOutcome> Service::submit(const JobRequest& request,
 }
 
 std::optional<SubmitOutcome> Service::submit_line(const std::string& line,
-                                                  std::string* error) {
+                                                  std::string* error,
+                                                  SubmitError* why) {
   std::string parse_error;
   const auto request = JobRequest::parse(line, &parse_error);
   if (!request) {
+    if (why) *why = SubmitError::kBadRequest;
     fail_with(error, parse_error);
     return std::nullopt;
   }
-  return submit(*request, error);
+  return submit(*request, error, why);
 }
 
 void Service::shutdown(Shutdown mode) {
@@ -212,7 +221,16 @@ std::vector<Job> Service::jobs() const { return queue_.jobs(); }
 
 std::optional<std::string> Service::report(const std::string& id,
                                            const std::string& ext) const {
-  return read_file(done_path(id, ext));
+  // done/<id>.md is the commit record: without it the job never finished,
+  // and whatever else sits in done/ (a csv whose md lost the crash race)
+  // must not be served — it belongs to an execution that will rerun.
+  if (!fs().exists(done_path(id, "md"))) return std::nullopt;
+  std::string content;
+  const io::Status read = io::with_retry(io::kDefaultRetryAttempts, [&] {
+    return fs().read_file(done_path(id, ext), &content);
+  });
+  if (!read.ok()) return std::nullopt;
+  return content;
 }
 
 std::uint64_t Service::executions() const noexcept {
@@ -223,15 +241,29 @@ void Service::worker_loop() {
   while (auto job = queue_.claim()) execute(*job);
 }
 
+void Service::record_failure(const std::string& id,
+                             const std::string& reason) {
+  // Best effort on a path that is itself a failure handler: if even
+  // failed/<id>.err cannot be written, the .req survives and the job
+  // simply reruns at the next start() — failing is not durable state the
+  // recovery invariant depends on, unlike finishing.
+  const io::Status recorded =
+      io::durable_write(fs(), failed_path(id), reason + "\n");
+  if (!recorded.ok()) {
+    if (recorded.permanent()) enter_degraded(recorded.message());
+    return;
+  }
+  fs().crash_point("service.fail.recorded");
+  (void)io::with_retry(io::kDefaultRetryAttempts,
+                       [&] { return fs().remove(queue_path(id)); });
+}
+
 void Service::execute(const Job& job) {
   if (options_.crash_for_test && options_.crash_for_test(job)) {
     if (!queue_.requeue_or_fail(job.id, "worker crashed")) {
       const auto failed = queue_.find(job.id);
-      durable_write(failed_path(job.id),
-                    (failed ? failed->error : std::string("worker crashed")) +
-                        "\n");
-      std::error_code ec;
-      fs::remove(queue_path(job.id), ec);
+      record_failure(job.id,
+                     failed ? failed->error : std::string("worker crashed"));
     }
     return;
   }
@@ -254,9 +286,7 @@ void Service::execute(const Job& job) {
     return;
   }
   queue_.fail(job.id, error);
-  durable_write(failed_path(job.id), error + "\n");
-  std::error_code ec;
-  fs::remove(queue_path(job.id), ec);
+  record_failure(job.id, error);
 }
 
 bool Service::run_scenario_job(const Job& job, std::string* error) {
@@ -280,6 +310,7 @@ bool Service::run_sweep_job(const Job& job, bool* cancelled,
   options.resume = true;  // A missing checkpoint is an empty one.
   options.remove_checkpoint_on_success = true;
   options.cancel = &cancel_;
+  options.fs = &fs();
   std::string run_error;
   const auto result = sweep::run_sweep(*spec, scenarios_, options, &run_error);
   if (!result) {
@@ -295,15 +326,32 @@ bool Service::run_sweep_job(const Job& job, bool* cancelled,
 
 bool Service::finish(const Job& job, const std::string& md,
                      const std::string& csv, std::string* error) {
-  // Reports land before the .req retires: a crash between the two leaves
-  // a done file plus a stale .req, which start() resolves in favour of
-  // the report. The reverse order could lose an acknowledged job.
-  if (!durable_write(done_path(job.id, "md"), md) ||
-      !durable_write(done_path(job.id, "csv"), csv))
+  // Publish order is load-bearing: done/<id>.md is the commit record that
+  // start(), submit() and report() all trust, so it lands LAST. csv
+  // first, then md, then the .req retires — a crash after the csv reruns
+  // the job (and rewrites identical bytes); a crash after the md leaves a
+  // stale .req that start() retires in the report's favour. The reverse
+  // order could serve a committed job whose csv never hit the disk.
+  const io::Status csv_written =
+      io::durable_write(fs(), done_path(job.id, "csv"), csv);
+  if (!csv_written.ok()) {
+    if (csv_written.permanent()) enter_degraded(csv_written.message());
     return fail_with(error, "cannot write report into '" +
-                                done_path(job.id, "md") + "'");
-  std::error_code ec;
-  fs::remove(queue_path(job.id), ec);
+                                done_path(job.id, "csv") +
+                                "': " + csv_written.message());
+  }
+  fs().crash_point("service.finish.csv-written");
+  const io::Status md_written =
+      io::durable_write(fs(), done_path(job.id, "md"), md);
+  if (!md_written.ok()) {
+    if (md_written.permanent()) enter_degraded(md_written.message());
+    return fail_with(error, "cannot write report into '" +
+                                done_path(job.id, "md") +
+                                "': " + md_written.message());
+  }
+  fs().crash_point("service.finish.committed");
+  (void)io::with_retry(io::kDefaultRetryAttempts,
+                       [&] { return fs().remove(queue_path(job.id)); });
   return true;
 }
 

@@ -26,16 +26,28 @@
 // group steals, so an in-flight sweep stops at a point boundary, keeps
 // its fsynced checkpoint, and goes back to queued — the next start()
 // (or a resubmission) completes it byte-identically.
+//
+// Failure model: every spool write goes through io::FileSystem
+// (ServiceOptions::fs — io::real() in production, io::FaultyFs in the
+// torture suites) and reports through the io::Status taxonomy. Transient
+// failures retry deterministically (attempt-counted, no clocks); a
+// *permanent* spool-write failure (ENOSPC, EROFS) flips the service into
+// degraded read-only mode: cached reports keep being served, new
+// submissions are rejected with a structured "unavailable" error, and the
+// mode is sticky until the operator fixes the disk and restarts (see
+// docs/ARCHITECTURE.md "Failure model").
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "io/fs.hpp"
 #include "scenario/registry.hpp"
 #include "service/job_queue.hpp"
 #include "service/protocol.hpp"
@@ -57,6 +69,18 @@ struct ServiceOptions {
   /// (requeue_or_fail) without running the job — how the integration
   /// tests exercise the retry cap deterministically.
   std::function<bool(const Job&)> crash_for_test;
+  /// The filesystem every spool/report/checkpoint byte goes through
+  /// (nullptr = io::real()). The torture suites substitute io::FaultyFs;
+  /// production never sets this.
+  io::FileSystem* fs = nullptr;
+};
+
+/// Why Service::submit returned nullopt — the structured half of the
+/// error message, so `explsimd` can map failures to distinct exit codes.
+enum class SubmitError {
+  kNone,        ///< Submit succeeded.
+  kBadRequest,  ///< Malformed line or unknown scenario/sweep name.
+  kUnavailable, ///< Spool write failed or the service is degraded.
 };
 
 /// What Service::submit did with a request.
@@ -86,12 +110,17 @@ class Service {
 
   /// Accept one request: resolve its id, serve from the done cache when
   /// possible, otherwise persist queue/<id>.req and enqueue. Nullopt +
-  /// `error` when the named entry is unknown or the spool write fails.
+  /// `error` when the named entry is unknown, the spool write fails, or
+  /// the service is degraded; `why` (when non-null) carries the
+  /// structured kind. Cached submissions succeed even in degraded mode —
+  /// that is what "read-only" means.
   std::optional<SubmitOutcome> submit(const JobRequest& request,
-                                      std::string* error = nullptr);
+                                      std::string* error = nullptr,
+                                      SubmitError* why = nullptr);
   /// Parse `line` and submit it; protocol errors surface in `error`.
   std::optional<SubmitOutcome> submit_line(const std::string& line,
-                                           std::string* error = nullptr);
+                                           std::string* error = nullptr,
+                                           SubmitError* why = nullptr);
 
   /// How shutdown treats in-flight and queued work.
   enum class Shutdown {
@@ -121,6 +150,12 @@ class Service {
   /// Executions actually started (attempts, not submissions) — what the
   /// dedupe tests count.
   std::uint64_t executions() const noexcept;
+  /// True once a permanent spool-write failure flipped the service into
+  /// degraded read-only mode (cached reports only; submissions rejected).
+  bool degraded() const noexcept { return degraded_.load(); }
+  /// The io::Status message of the failure that caused degraded mode
+  /// (empty while healthy).
+  std::string degraded_reason() const;
 
   /// Spool paths, exposed so tests and `explsimd` agree on the layout.
   std::string queue_path(const std::string& id) const;
@@ -134,9 +169,16 @@ class Service {
   void execute(const Job& job);
   bool run_scenario_job(const Job& job, std::string* error);
   bool run_sweep_job(const Job& job, bool* cancelled, std::string* error);
-  /// Write both report files (tmp + rename) and retire the .req file.
+  /// Write both report files (csv first, then md — the commit record) and
+  /// retire the .req file.
   bool finish(const Job& job, const std::string& md, const std::string& csv,
               std::string* error);
+  /// The injectable filesystem (ServiceOptions::fs or io::real()).
+  io::FileSystem& fs() const;
+  /// Record a permanent spool failure and flip into degraded mode.
+  void enter_degraded(const std::string& reason);
+  /// Durably file failed/<id>.err and retire the .req (best effort).
+  void record_failure(const std::string& id, const std::string& reason);
 
   const ServiceOptions options_;
   const scenario::Registry& scenarios_;
@@ -146,6 +188,9 @@ class Service {
   std::atomic<bool> cancel_{false};   ///< SweepRunner's cancel seam.
   std::atomic<bool> running_{false};  ///< start() .. shutdown().
   std::atomic<std::uint64_t> executions_{0};
+  std::atomic<bool> degraded_{false};  ///< Sticky read-only mode.
+  mutable std::mutex degraded_mutex_;  ///< Guards degraded_reason_.
+  std::string degraded_reason_;
 };
 
 }  // namespace explframe::service

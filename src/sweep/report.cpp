@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 
 #include "support/check.hpp"
 #include "support/stats.hpp"
@@ -241,17 +239,20 @@ std::vector<std::pair<std::string, std::string>> sweep_files(
 
 std::vector<std::string> check_generated_files(
     const std::vector<std::pair<std::string, std::string>>& files,
-    const std::string& dir) {
+    const std::string& dir, io::FileSystem* fs) {
+  io::FileSystem& the_fs = fs != nullptr ? *fs : io::real();
   std::vector<std::string> issues;
   for (const auto& [path, content] : files) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      issues.push_back("MISSING " + path);
+    std::string on_disk;
+    const io::Status read = io::with_retry(
+        io::kDefaultRetryAttempts,
+        [&] { return the_fs.read_file(path, &on_disk); });
+    if (!read.ok()) {
+      issues.push_back("MISSING " + path +
+                       (read.is_not_found() ? "" : " (" + read.message() + ")"));
       continue;
     }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    if (ss.str() != content)
+    if (on_disk != content)
       issues.push_back("DRIFT   " + path +
                        " (regenerated report differs from the checked-in "
                        "golden)");

@@ -39,9 +39,11 @@ std::vector<std::pair<std::string, std::string>> sweep_files(
 /// Returns one human-readable issue per problem: MISSING (no such file),
 /// DRIFT (bytes differ) and ORPHAN (a .md/.csv file in `dir` that no entry
 /// generates — a renamed sweep must take its old reports with it). Empty
-/// means the directory matches byte for byte.
+/// means the directory matches byte for byte. Reads go through `fs`
+/// (nullptr = io::real()) like every other durable path; an unreadable
+/// existing file reports as MISSING with the read error appended.
 std::vector<std::string> check_generated_files(
     const std::vector<std::pair<std::string, std::string>>& files,
-    const std::string& dir);
+    const std::string& dir, io::FileSystem* fs = nullptr);
 
 }  // namespace explframe::sweep

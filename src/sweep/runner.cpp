@@ -1,12 +1,7 @@
 #include "sweep/runner.hpp"
 
-#include <unistd.h>
-
 #include <atomic>
 #include <chrono>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -112,15 +107,6 @@ std::string serialize_trial(const TrialRow& row) {
   return out;
 }
 
-/// Read a whole file; nullopt when it cannot be opened.
-std::optional<std::string> read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
 /// The length of `content`'s durable prefix: everything up to and
 /// including the last newline. A trailing fragment with no newline is a
 /// torn final line — the crash fsync cannot rule out — and is *not*
@@ -131,69 +117,113 @@ std::size_t durable_prefix(const std::string& content) noexcept {
   return last_newline == std::string::npos ? 0 : last_newline + 1;
 }
 
-/// Append-only, line-fsynced checkpoint writer. Every append is durable
-/// before it returns, so a kill loses only in-flight points.
+/// Append-only, line-fsynced checkpoint writer over io::FileSystem.
+/// Every append is durable (synced) before it returns OK, so a kill loses
+/// only in-flight points — and every failure now *surfaces*: an append
+/// whose write or fsync fails reports an io::Status instead of silently
+/// pretending the line hit the disk. Transient failures retry a bounded,
+/// deterministic number of times; each retry drops the handle and reopens
+/// in append mode, truncating the torn tail first so the re-written line
+/// never concatenates onto partial bytes.
 class CheckpointWriter {
  public:
+  explicit CheckpointWriter(io::FileSystem& fs) : fs_(fs) {}
   ~CheckpointWriter() { close(); }
 
-  bool open(const std::string& path, const std::string& sweep_name,
-            std::uint64_t spec_hash, bool append, std::string* error) {
-    bool continue_existing = false;
-    if (append && std::filesystem::exists(path)) {
-      // Drop a torn final line before appending, mirroring what
-      // load_checkpoint just ignored — otherwise the next record would
-      // concatenate onto the fragment and corrupt the file for good.
-      const auto content = read_file(path);
-      if (!content)
-        return set_error(error, "cannot read checkpoint '" + path + "'");
-      const std::size_t keep = durable_prefix(*content);
-      if (keep != content->size()) {
-        std::error_code ec;
-        std::filesystem::resize_file(path, keep, ec);
-        if (ec)
-          return set_error(error,
-                           "cannot truncate torn checkpoint '" + path + "'");
-      }
-      // A file torn before its header completed holds nothing durable;
-      // start it over.
-      continue_existing = keep > 0;
-    }
-    file_ = std::fopen(path.c_str(), continue_existing ? "ab" : "wb");
-    if (!file_)
-      return set_error(error, "cannot open checkpoint '" + path + "'");
-    if (!continue_existing) {
-      const std::string header = std::string(kCheckpointMagic) + " sweep=" +
-                                 sweep_name + " spec_hash=" +
-                                 hex16(spec_hash) + "\n";
-      if (std::fwrite(header.data(), 1, header.size(), file_) !=
-          header.size())
-        return set_error(error, "cannot write checkpoint '" + path + "'");
-      sync();
-    }
-    return true;
+  io::Status open(const std::string& path, const std::string& sweep_name,
+                  std::uint64_t spec_hash, bool append) {
+    path_ = path;
+    header_ = std::string(kCheckpointMagic) + " sweep=" + sweep_name +
+              " spec_hash=" + hex16(spec_hash) + "\n";
+    return io::with_retry(io::kDefaultRetryAttempts,
+                          [this, append] { return prepare(append); });
   }
 
-  void append(const PointRecord& record) {
-    if (!file_) return;
+  /// Durably log one completed point. Never called concurrently (the
+  /// worker pool appends under the run_sweep mutex).
+  io::Status append(const PointRecord& record) {
+    if (path_.empty()) return io::Status::ok_status();  // Disabled.
     const std::string line = record.serialize() + "\n";
-    std::fwrite(line.data(), 1, line.size(), file_);
-    sync();
+    return io::with_retry(io::kDefaultRetryAttempts, [this, &line] {
+      if (!file_) {
+        // A previous attempt failed and dropped the handle; reopening in
+        // append mode runs the torn-tail truncation, so the retried line
+        // lands after the last durable record, not after a fragment.
+        const io::Status reopened = prepare(/*append=*/true);
+        if (!reopened.ok()) return reopened;
+      }
+      io::Status status = file_->write(line);
+      if (status.ok()) status = file_->sync();
+      if (status.ok()) {
+        fs_.crash_point("sweep.checkpoint.appended");
+        return status;
+      }
+      // The file may hold a torn prefix of the line; drop the handle so
+      // the next attempt (or the next resume) truncates it.
+      (void)file_->close();
+      file_.reset();
+      return status;
+    });
   }
 
   void close() {
     if (!file_) return;
-    std::fclose(file_);
-    file_ = nullptr;
+    (void)file_->close();
+    file_.reset();
   }
 
  private:
-  void sync() {
-    std::fflush(file_);
-    ::fsync(::fileno(file_));
+  /// One open attempt: truncate any torn tail (append mode), then open
+  /// the handle via open_handle(). The retry unit of open() and of the
+  /// mid-append reopen.
+  io::Status prepare(bool append) {
+    bool continue_existing = false;
+    if (append && fs_.exists(path_)) {
+      // Drop a torn final line before appending, mirroring what
+      // load_checkpoint just ignored — otherwise the next record would
+      // concatenate onto the fragment and corrupt the file for good.
+      std::string content;
+      const io::Status read = fs_.read_file(path_, &content);
+      if (read.ok()) {
+        const std::size_t keep = durable_prefix(content);
+        if (keep != content.size()) {
+          const io::Status truncated = fs_.truncate(path_, keep);
+          if (!truncated.ok()) return truncated;
+        }
+        // A file torn before its header completed holds nothing durable;
+        // start it over.
+        continue_existing = keep > 0;
+      } else if (!read.is_not_found()) {
+        return read;
+      }
+    }
+    return open_handle(continue_existing);
   }
 
-  std::FILE* file_ = nullptr;
+  /// (Re)open the handle; a fresh file gets the header, written and
+  /// synced before any record may follow it.
+  io::Status open_handle(bool continue_existing) {
+    io::Status status =
+        fs_.open(path_, continue_existing ? io::OpenMode::kAppend
+                                          : io::OpenMode::kTruncate,
+                 &file_);
+    if (!status.ok()) return status;
+    if (!continue_existing) {
+      status = file_->write(header_);
+      if (status.ok()) status = file_->sync();
+      if (!status.ok()) {
+        (void)file_->close();
+        file_.reset();
+        return status;
+      }
+    }
+    return io::Status::ok_status();
+  }
+
+  io::FileSystem& fs_;
+  std::unique_ptr<io::File> file_;
+  std::string path_;    ///< Empty until open(): appends are no-ops.
+  std::string header_;  ///< The full header line, built once in open().
 };
 
 }  // namespace
@@ -258,10 +288,8 @@ std::uint32_t PointRecord::successes() const noexcept {
 
 std::optional<std::vector<PointRecord>> load_checkpoint(
     const std::string& path, const std::string& sweep_name,
-    std::uint64_t spec_hash, std::string* error) {
-  std::vector<PointRecord> records;
-  const auto content = read_file(path);
-  if (!content) return records;  // No checkpoint yet: nothing completed.
+    std::uint64_t spec_hash, std::string* error, io::FileSystem* fs_arg) {
+  io::FileSystem& fs = fs_arg ? *fs_arg : io::real();
 
   const auto fail = [&](const std::string& what)
       -> std::optional<std::vector<PointRecord>> {
@@ -269,11 +297,23 @@ std::optional<std::vector<PointRecord>> load_checkpoint(
     return std::nullopt;
   };
 
+  std::vector<PointRecord> records;
+  std::string file_content;
+  const io::Status read = io::with_retry(
+      io::kDefaultRetryAttempts,
+      [&] { return fs.read_file(path, &file_content); });
+  // A missing checkpoint is an empty one — nothing completed yet. A file
+  // that exists but cannot be read (EIO through the retry budget) is NOT:
+  // treating it as empty would silently rerun completed points.
+  if (read.is_not_found()) return records;
+  if (!read.ok()) return fail(read.message());
+
   // Only newline-terminated lines are durable; a torn final fragment is
   // the mid-write crash and its point simply reruns (the writer truncates
   // it before appending). Every durable line, by contrast, was fsynced —
   // if one fails to parse that is real corruption, never a crash artifact.
-  std::istringstream in(content->substr(0, durable_prefix(*content)));
+  std::istringstream in(
+      file_content.substr(0, durable_prefix(file_content)));
   std::string header;
   if (!std::getline(in, header)) return records;  // Torn before the header.
   const std::string expected = std::string(kCheckpointMagic) + " sweep=" +
@@ -320,6 +360,7 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
   if (!points) return std::nullopt;
   EXPLFRAME_CHECK(!points->empty());
   const std::uint64_t hash = spec.spec_hash(registry);
+  io::FileSystem& fs = options.fs ? *options.fs : io::real();
 
   const auto fail = [&](const std::string& what)
       -> std::optional<SweepResult> {
@@ -356,7 +397,7 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
   std::size_t resumed = 0;
   if (!options.checkpoint_path.empty() && options.resume) {
     const auto loaded =
-        load_checkpoint(options.checkpoint_path, spec.name, hash, error);
+        load_checkpoint(options.checkpoint_path, spec.name, hash, error, &fs);
     if (!loaded) return std::nullopt;
     for (const PointRecord& record : *loaded) {
       if (record.index >= points->size() ||
@@ -376,13 +417,19 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
     }
   }
 
-  CheckpointWriter writer;
-  if (!options.checkpoint_path.empty() &&
-      !writer.open(options.checkpoint_path, spec.name, hash, options.resume,
-                   error))
-    return std::nullopt;
+  CheckpointWriter writer(fs);
+  if (!options.checkpoint_path.empty()) {
+    const io::Status opened =
+        writer.open(options.checkpoint_path, spec.name, hash, options.resume);
+    if (!opened.ok())
+      return fail("cannot open checkpoint '" + options.checkpoint_path +
+                  "': " + opened.message());
+  }
 
   std::mutex mutex;  // Guards the writer, the slots and the progress hook.
+  // The first checkpoint-append failure (after its bounded retries); once
+  // set, workers stop stealing groups and the sweep aborts.
+  io::Status append_failure;
   if (options.on_point) {
     for (const auto& slot : slots)
       if (slot) options.on_point((*points)[slot->index], *slot, true);
@@ -429,12 +476,16 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
     // Work stealing: each worker pulls the next unfinished group; a worker
     // stuck on a slow group never blocks the rest of the grid.
     std::atomic<std::size_t> next{0};
+    std::atomic<bool> io_failed{false};
     const auto worker = [&] {
       while (true) {
         // The graceful-stop seam: once `cancel` reads true no further
         // group starts; everything already appended to the checkpoint
         // stays durable, so a later --resume completes byte-identically.
+        // A checkpoint-append failure stops the pool the same way: points
+        // the sweep cannot make durable must not be treated as done.
         if (options.cancel && options.cancel->load()) return;
+        if (io_failed.load()) return;
         const std::size_t slot = next.fetch_add(1);
         if (slot >= groups.size()) return;
         const std::vector<std::size_t>& group = groups[slot];
@@ -473,7 +524,15 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
         const std::lock_guard<std::mutex> lock(mutex);
         for (std::size_t i = 0; i < group.size(); ++i) {
           const std::size_t index = group[i];
-          writer.append(done[i]);
+          const io::Status appended = writer.append(done[i]);
+          if (!appended.ok()) {
+            // The retries are spent; this point is computed but not
+            // durable, so it is NOT completed — drop it (a resume reruns
+            // it) and abort the sweep.
+            if (append_failure.ok()) append_failure = appended;
+            io_failed.store(true);
+            return;
+          }
           slots[index] = std::move(done[i]);
           if (options.on_point)
             options.on_point((*points)[index], *slots[index], false);
@@ -491,6 +550,15 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
 
   writer.close();
 
+  // A persistent checkpoint-append failure aborted the pool. Everything
+  // *recorded* is durable, so the checkpoint stays for --resume; the
+  // error carries the io::Status taxonomy message (ENOSPC vs EIO).
+  if (!append_failure.ok())
+    return fail("sweep '" + spec.name + "': cannot write checkpoint '" +
+                options.checkpoint_path + "': " + append_failure.message() +
+                "; completed points are retained and --resume finishes the "
+                "run once the disk recovers");
+
   // A cancelled run is not a finished run: keep the checkpoint (it holds
   // every completed point, each fsynced) and report the interruption so
   // callers never mistake a partial grid for a result.
@@ -505,10 +573,14 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
   }
 
   // A completed shard keeps its checkpoint: the file is the shard's
-  // output artifact, consumed by merge_checkpoints.
+  // output artifact, consumed by merge_checkpoints. Removal is cleanup,
+  // not correctness — if it fails the leftover file merely resumes to a
+  // no-op — so it gets the retry budget and no error path.
   if (!options.checkpoint_path.empty() &&
       options.remove_checkpoint_on_success && !sharded)
-    std::filesystem::remove(options.checkpoint_path);
+    (void)io::with_retry(io::kDefaultRetryAttempts, [&] {
+      return fs.remove(options.checkpoint_path);
+    });
 
   SweepResult result;
   result.spec = spec;
@@ -526,7 +598,9 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
 
 std::optional<SweepResult> merge_checkpoints(
     const SweepSpec& spec, const scenario::Registry& registry,
-    const std::vector<std::string>& checkpoint_paths, std::string* error) {
+    const std::vector<std::string>& checkpoint_paths, std::string* error,
+    io::FileSystem* fs_arg) {
+  io::FileSystem& fs = fs_arg ? *fs_arg : io::real();
   const auto points = spec.expand(registry, error);
   if (!points) return std::nullopt;
   const std::uint64_t hash = spec.spec_hash(registry);
@@ -548,9 +622,9 @@ std::optional<SweepResult> merge_checkpoints(
     // a merge operand the user named must exist — a typo that silently
     // contributed zero records would surface as a confusing
     // missing-points error far from its cause.
-    if (!std::filesystem::exists(path))
+    if (!fs.exists(path))
       return fail("cannot read checkpoint '" + path + "'");
-    const auto records = load_checkpoint(path, spec.name, hash, error);
+    const auto records = load_checkpoint(path, spec.name, hash, error, &fs);
     if (!records) return std::nullopt;
     for (const PointRecord& record : *records) {
       if (record.index >= points->size() ||

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "attack/campaign.hpp"
+#include "io/fs.hpp"
 #include "scenario/registry.hpp"
 #include "support/units.hpp"
 #include "sweep/spec.hpp"
@@ -108,9 +109,13 @@ struct PointRecord {
 /// malformed header, a hash or sweep-name mismatch, or any malformed
 /// *durable* line (those were fsynced, so that is real corruption, never
 /// a crash artifact).
+/// All I/O goes through `fs` (nullptr = io::real()); reads retry
+/// transient errors (a flaky EIO) a bounded number of times before the
+/// failure surfaces.
 std::optional<std::vector<PointRecord>> load_checkpoint(
     const std::string& path, const std::string& sweep_name,
-    std::uint64_t spec_hash, std::string* error = nullptr);
+    std::uint64_t spec_hash, std::string* error = nullptr,
+    io::FileSystem* fs = nullptr);
 
 /// How run_sweep executes and checkpoints; plain data with usable defaults.
 struct SweepRunOptions {
@@ -149,6 +154,10 @@ struct SweepRunOptions {
   /// `resumed` marks points served from the checkpoint.
   std::function<void(const SweepPoint&, const PointRecord&, bool resumed)>
       on_point;
+  /// The filesystem every checkpoint read/append goes through (nullptr =
+  /// io::real()). Tests substitute io::FaultyFs to torture the
+  /// append→resume pipeline; production never sets this.
+  io::FileSystem* fs = nullptr;
 };
 
 /// A finished sweep: the spec, its expanded grid and one record per owned
@@ -173,6 +182,11 @@ struct SweepResult {
 /// `error` on expansion, sharding or checkpoint errors, or when
 /// `options.cancel` fired before the owned points finished (never on
 /// attack outcomes — a failing attack is a result, not an error).
+/// Checkpoint I/O failures are real errors, not warnings: a transient one
+/// (io::Status taxonomy) is retried a bounded, deterministic number of
+/// times; a persistent one aborts the sweep after the in-flight groups
+/// drain, keeping the checkpoint (every *recorded* point was fsynced, so
+/// `--resume` continues from it once the disk recovers).
 std::optional<SweepResult> run_sweep(const SweepSpec& spec,
                                      const scenario::Registry& registry,
                                      const SweepRunOptions& options = {},
@@ -189,6 +203,6 @@ std::optional<SweepResult> run_sweep(const SweepSpec& spec,
 std::optional<SweepResult> merge_checkpoints(
     const SweepSpec& spec, const scenario::Registry& registry,
     const std::vector<std::string>& checkpoint_paths,
-    std::string* error = nullptr);
+    std::string* error = nullptr, io::FileSystem* fs = nullptr);
 
 }  // namespace explframe::sweep

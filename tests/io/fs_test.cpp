@@ -1,0 +1,211 @@
+// io::FileSystem seam unit suite — the Status taxonomy (errno mapping,
+// transient vs permanent vs not-found), the deterministic attempt-counted
+// with_retry, and the RealFs passthrough: read/write round trips, sorted
+// listings, idempotent removes, torn-tail truncation, and the
+// durable_write discipline (tmp + sync + rename, no stranded tmp files,
+// old-or-new-never-torn publishes).
+#include "io/fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace explframe::io {
+namespace {
+
+/// A fresh scratch directory per test.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(Status, DefaultIsOkAndFactoriesCarryTheTaxonomy) {
+  EXPECT_TRUE(Status().ok());
+  EXPECT_TRUE(Status::ok_status().ok());
+  EXPECT_TRUE(Status().message().empty());
+
+  const Status transient = Status::transient_error("flaky");
+  EXPECT_TRUE(transient.transient());
+  EXPECT_FALSE(transient.ok());
+  EXPECT_FALSE(transient.permanent());
+  EXPECT_EQ(transient.message(), "flaky");
+
+  const Status permanent = Status::permanent_error("disk full");
+  EXPECT_TRUE(permanent.permanent());
+  EXPECT_FALSE(permanent.transient());
+  EXPECT_FALSE(permanent.is_not_found());
+
+  // kNotFound is distinct (callers map it to "empty") but counts as
+  // permanent — retrying cannot make a file appear.
+  const Status missing = Status::not_found("no such file");
+  EXPECT_TRUE(missing.is_not_found());
+  EXPECT_TRUE(missing.permanent());
+  EXPECT_EQ(missing.kind(), ErrorKind::kNotFound);
+}
+
+TEST(Status, ErrnoMappingFollowsTheFailureModel) {
+  EXPECT_TRUE(Status::from_errno(EINTR, "x").transient());
+  EXPECT_TRUE(Status::from_errno(EAGAIN, "x").transient());
+  EXPECT_TRUE(Status::from_errno(EIO, "x").transient());
+  EXPECT_TRUE(Status::from_errno(EBUSY, "x").transient());
+  EXPECT_TRUE(Status::from_errno(ENOSPC, "x").permanent());
+  EXPECT_TRUE(Status::from_errno(EROFS, "x").permanent());
+  EXPECT_TRUE(Status::from_errno(EACCES, "x").permanent());
+  EXPECT_TRUE(Status::from_errno(ENOENT, "x").is_not_found());
+  // Messages spell the errno name — the torture trace grep anchor.
+  EXPECT_NE(Status::from_errno(ENOSPC, "write").message().find("ENOSPC"),
+            std::string::npos);
+  EXPECT_NE(Status::from_errno(EIO, "read").message().find("read"),
+            std::string::npos);
+}
+
+TEST(WithRetry, CountsAttemptsAndStopsOnTheFirstNonTransient) {
+  int calls = 0;
+  // Transient failures burn the whole budget.
+  const Status spent = with_retry(3, [&] {
+    ++calls;
+    return Status::transient_error("flaky");
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_TRUE(spent.transient());
+
+  // Success stops immediately.
+  calls = 0;
+  EXPECT_TRUE(with_retry(3, [&] {
+                ++calls;
+                return Status::ok_status();
+              }).ok());
+  EXPECT_EQ(calls, 1);
+
+  // A permanent failure is never retried.
+  calls = 0;
+  EXPECT_TRUE(with_retry(3, [&] {
+                ++calls;
+                return Status::permanent_error("disk full");
+              }).permanent());
+  EXPECT_EQ(calls, 1);
+
+  // Transient-then-success: the retry absorbs the flake.
+  calls = 0;
+  EXPECT_TRUE(with_retry(3, [&] {
+                ++calls;
+                return calls == 1 ? Status::transient_error("flaky")
+                                  : Status::ok_status();
+              }).ok());
+  EXPECT_EQ(calls, 2);
+
+  // attempts=0 is clamped to one attempt, not zero.
+  calls = 0;
+  EXPECT_TRUE(with_retry(0, [&] {
+                ++calls;
+                return Status::ok_status();
+              }).ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RealFs, WriteReadRoundTripAndNotFound) {
+  const std::string dir = fresh_dir("io-roundtrip");
+  FileSystem& fs = real();
+
+  const std::string path = dir + "/file.txt";
+  ASSERT_TRUE(write_file(fs, path, "hello\nworld\n").ok());
+  std::string content;
+  ASSERT_TRUE(fs.read_file(path, &content).ok());
+  EXPECT_EQ(content, "hello\nworld\n");
+  EXPECT_TRUE(fs.exists(path));
+
+  const Status missing = fs.read_file(dir + "/absent.txt", &content);
+  EXPECT_TRUE(missing.is_not_found());
+  EXPECT_EQ(content, "hello\nworld\n");  // Untouched on failure.
+}
+
+TEST(RealFs, AppendModeExtendsAndTruncateCutsTheTail) {
+  const std::string dir = fresh_dir("io-append");
+  FileSystem& fs = real();
+  const std::string path = dir + "/log.txt";
+
+  std::unique_ptr<File> file;
+  ASSERT_TRUE(fs.open(path, OpenMode::kTruncate, &file).ok());
+  ASSERT_TRUE(file->write("line one\n").ok());
+  ASSERT_TRUE(file->sync().ok());
+  ASSERT_TRUE(file->close().ok());
+  EXPECT_TRUE(file->close().ok());  // Idempotent.
+
+  ASSERT_TRUE(fs.open(path, OpenMode::kAppend, &file).ok());
+  ASSERT_TRUE(file->write("line two\n").ok());
+  ASSERT_TRUE(file->close().ok());
+
+  std::string content;
+  ASSERT_TRUE(fs.read_file(path, &content).ok());
+  EXPECT_EQ(content, "line one\nline two\n");
+
+  ASSERT_TRUE(fs.truncate(path, 9).ok());
+  ASSERT_TRUE(fs.read_file(path, &content).ok());
+  EXPECT_EQ(content, "line one\n");
+}
+
+TEST(RealFs, ListIsSortedNamesAndRemoveIsIdempotent) {
+  const std::string dir = fresh_dir("io-list");
+  FileSystem& fs = real();
+  ASSERT_TRUE(write_file(fs, dir + "/b.req", "b").ok());
+  ASSERT_TRUE(write_file(fs, dir + "/a.req", "a").ok());
+  ASSERT_TRUE(write_file(fs, dir + "/c.md", "c").ok());
+
+  std::vector<std::string> names;
+  ASSERT_TRUE(fs.list(dir, &names).ok());
+  EXPECT_EQ(names, (std::vector<std::string>{"a.req", "b.req", "c.md"}));
+
+  ASSERT_TRUE(fs.remove(dir + "/b.req").ok());
+  // "Already gone" is the goal state, not an error.
+  EXPECT_TRUE(fs.remove(dir + "/b.req").ok());
+  ASSERT_TRUE(fs.list(dir, &names).ok());
+  EXPECT_EQ(names, (std::vector<std::string>{"a.req", "c.md"}));
+}
+
+TEST(RealFs, DurableWritePublishesAtomicallyAndLeavesNoTmp) {
+  const std::string dir = fresh_dir("io-durable");
+  FileSystem& fs = real();
+  const std::string path = dir + "/report.md";
+
+  ASSERT_TRUE(durable_write(fs, path, "old bytes\n").ok());
+  ASSERT_TRUE(durable_write(fs, path, "new bytes\n").ok());
+
+  std::string content;
+  ASSERT_TRUE(fs.read_file(path, &content).ok());
+  EXPECT_EQ(content, "new bytes\n");
+
+  // No "<name>.tmpN" debris after successful publishes.
+  std::vector<std::string> names;
+  ASSERT_TRUE(fs.list(dir, &names).ok());
+  EXPECT_EQ(names, (std::vector<std::string>{"report.md"}));
+}
+
+TEST(RealFs, RenameMovesAndMkdirCreatesParents) {
+  const std::string dir = fresh_dir("io-rename");
+  FileSystem& fs = real();
+  ASSERT_TRUE(fs.create_directories(dir + "/a/b/c").ok());
+  EXPECT_TRUE(fs.exists(dir + "/a/b/c"));
+  ASSERT_TRUE(write_file(fs, dir + "/a/b/c/x.txt", "x").ok());
+  ASSERT_TRUE(fs.rename(dir + "/a/b/c/x.txt", dir + "/a/y.txt").ok());
+  EXPECT_FALSE(fs.exists(dir + "/a/b/c/x.txt"));
+  EXPECT_TRUE(fs.exists(dir + "/a/y.txt"));
+}
+
+TEST(CrashPoints, RegistryNamesAreUniqueAndRealFsIgnoresThem) {
+  const std::vector<std::string>& names = crash_point_names();
+  ASSERT_FALSE(names.empty());
+  for (std::size_t i = 0; i < names.size(); ++i)
+    for (std::size_t j = i + 1; j < names.size(); ++j)
+      EXPECT_NE(names[i], names[j]);
+  // The production filesystem treats every crash point as a no-op.
+  for (const std::string& name : names) real().crash_point(name);
+}
+
+}  // namespace
+}  // namespace explframe::io

@@ -41,13 +41,12 @@
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "io/fs.hpp"
 #include "scenario/debug.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/report.hpp"
@@ -117,19 +116,25 @@ int usage(std::ostream& os, int code) {
   return code;
 }
 
+// Both helpers route through the io::FileSystem seam, with the default
+// bounded retry on transient errors. Golden/report emission uses the
+// non-durable io::write_file — these artifacts are committed to git, so
+// the diff (not fsync) is the safety net; the daemon's spool, where
+// durability IS the contract, uses io::durable_write instead.
 std::optional<std::string> read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+  std::string content;
+  const io::Status read = io::with_retry(io::kDefaultRetryAttempts, [&] {
+    return io::real().read_file(path, &content);
+  });
+  if (!read.ok()) return std::nullopt;
+  return content;
 }
 
 bool write_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out << content;
-  return static_cast<bool>(out);
+  return io::with_retry(io::kDefaultRetryAttempts, [&] {
+           return io::write_file(io::real(), path, content);
+         })
+      .ok();
 }
 
 /// True when a `run` operand names a file rather than a registry entry.

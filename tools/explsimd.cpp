@@ -23,19 +23,25 @@
 // `status` and `report` need no daemon: job state is fully determined by
 // which spool file holds the id (queue/ = pending, done/ = completed,
 // failed/ = gave up), so they just look.
+//
+// Exit codes (scriptable — each failure class is distinguishable):
+//   0  success
+//   1  job failed (a failed/ entry, or `serve --once` saw failures)
+//   2  bad request (usage, unknown kind/name/id, malformed input)
+//   3  spool unavailable (cannot create/write the spool, or the daemon
+//      is degraded read-only after a permanent disk failure)
 #include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "io/fs.hpp"
 #include "scenario/registry.hpp"
 #include "service/protocol.hpp"
 #include "service/service.hpp"
@@ -49,6 +55,11 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 
 void handle_stop_signal(int) { g_stop = 1; }
+
+// The failure-class exit codes (see the file comment).
+constexpr int kExitJobFailed = 1;
+constexpr int kExitBadRequest = 2;
+constexpr int kExitUnavailable = 3;
 
 int usage(std::ostream& os, int code) {
   os << "usage: explsimd <command> [options]\n"
@@ -66,34 +77,21 @@ int usage(std::ostream& os, int code) {
         "      [--threads=N]         inner worker threads (wall-clock only)\n"
         "      [--spool=DIR]\n"
         "  status [<id>]             one job's state, or every spooled job\n"
+        "                            (failed jobs print their recorded\n"
+        "                            failure reason)\n"
         "      [--spool=DIR]\n"
         "  report <id> [--csv]       print a completed job's report bytes\n"
-        "      [--spool=DIR]\n";
+        "      [--spool=DIR]\n"
+        "\n"
+        "exit codes: 0 ok, 1 job failed, 2 bad request, 3 spool\n"
+        "unavailable/degraded\n";
   return code;
 }
 
 std::optional<std::string> read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
-/// Tool-side durable submission write: temp file then atomic rename, the
-/// same discipline Service uses, so a concurrently polling daemon never
-/// reads a half-written request.
-bool spool_write(const std::string& path, const std::string& content) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out << content;
-    if (!out.flush()) return false;
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  return !ec;
+  std::string content;
+  if (!io::real().read_file(path, &content).ok()) return std::nullopt;
+  return content;
 }
 
 /// The spool-derived state of an id: which directory holds it.
@@ -114,7 +112,7 @@ int cmd_serve(const std::string& spool, std::uint32_t workers, bool once) {
   std::string error;
   if (!daemon.start(&error)) {
     std::cerr << "error: " << error << "\n";
-    return 1;
+    return kExitUnavailable;
   }
 
   if (!once) {
@@ -136,7 +134,16 @@ int cmd_serve(const std::string& spool, std::uint32_t workers, bool once) {
         while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
           line.pop_back();
         std::string submit_error;
-        if (!daemon.submit_line(line, &submit_error)) {
+        service::SubmitError why = service::SubmitError::kNone;
+        if (!daemon.submit_line(line, &submit_error, &why)) {
+          if (why == service::SubmitError::kUnavailable) {
+            // The request is fine — the spool is not. Leave the .req in
+            // place (it is already durable) and keep serving reads.
+            std::cerr << "explsimd: degraded, cannot accept '"
+                      << entry.path().string() << "': " << submit_error
+                      << "\n";
+            continue;
+          }
           std::cerr << "explsimd: rejecting '" << entry.path().string()
                     << "': " << submit_error << "\n";
           std::error_code ec;
@@ -164,7 +171,12 @@ int cmd_serve(const std::string& spool, std::uint32_t workers, bool once) {
   }
   std::cout << "explsimd: " << daemon.executions() << " execution(s), "
             << failed << " failed\n";
-  return once && failed > 0 ? 1 : 0;
+  if (daemon.degraded()) {
+    std::cerr << "explsimd: spool degraded (read-only): "
+              << daemon.degraded_reason() << "\n";
+    return kExitUnavailable;
+  }
+  return once && failed > 0 ? kExitJobFailed : 0;
 }
 
 int cmd_submit(const std::string& spool, const std::string& kind_name,
@@ -173,7 +185,7 @@ int cmd_submit(const std::string& spool, const std::string& kind_name,
   if (!kind) {
     std::cerr << "error: unknown kind '" << kind_name
               << "' (want scenario or sweep)\n";
-    return 2;
+    return kExitBadRequest;
   }
   service::JobRequest request;
   request.kind = *kind;
@@ -183,26 +195,35 @@ int cmd_submit(const std::string& spool, const std::string& kind_name,
   const auto id = service::job_id(request, scenario::Registry::builtin(),
                                   sweep::Registry::builtin(), &error);
   if (!id) {
+    // An unknown scenario/sweep name is the submitter's mistake, not the
+    // spool's.
     std::cerr << "error: " << error << "\n";
-    return 1;
+    return kExitBadRequest;
   }
-  namespace fs = std::filesystem;
-  if (fs::exists(spool + "/done/" + *id + ".md")) {
+  io::FileSystem& fs = io::real();
+  if (fs.exists(spool + "/done/" + *id + ".md")) {
     std::cout << *id << " cached\n";
     return 0;
   }
-  std::error_code ec;
-  fs::create_directories(spool + "/queue", ec);
-  if (ec) {
+  const io::Status made = io::with_retry(io::kDefaultRetryAttempts, [&] {
+    return fs.create_directories(spool + "/queue");
+  });
+  if (!made.ok()) {
     std::cerr << "error: cannot create spool '" << spool
-              << "/queue': " << ec.message() << "\n";
-    return 1;
+              << "/queue': " << made.message() << "\n";
+    return kExitUnavailable;
   }
   const std::string path = spool + "/queue/" + *id + ".req";
-  const bool duplicate = fs::exists(path);
-  if (!spool_write(path, request.serialize() + "\n")) {
-    std::cerr << "error: cannot write '" << path << "'\n";
-    return 1;
+  const bool duplicate = fs.exists(path);
+  // The same tmp + sync + rename discipline Service uses, so a
+  // concurrently polling daemon never reads a half-written request and a
+  // crash never loses an acknowledged submission.
+  const io::Status spooled =
+      io::durable_write(fs, path, request.serialize() + "\n");
+  if (!spooled.ok()) {
+    std::cerr << "error: cannot write '" << path
+              << "': " << spooled.message() << "\n";
+    return kExitUnavailable;
   }
   std::cout << *id << (duplicate ? " deduped" : " submitted") << "\n";
   return 0;
@@ -216,8 +237,9 @@ int cmd_status(const std::string& spool, const std::string& id) {
     if (state == "failed") {
       if (const auto why = read_file(spool + "/failed/" + id + ".err"))
         std::cout << "  " << trim_copy(*why) << "\n";
+      return kExitJobFailed;
     }
-    return state == "unknown" ? 1 : 0;
+    return state == "unknown" ? kExitBadRequest : 0;
   }
   // Every id the spool knows, each printed once, stable order.
   std::vector<std::string> ids;
@@ -236,8 +258,16 @@ int cmd_status(const std::string& spool, const std::string& id) {
   collect("done", ".md");
   collect("failed", ".err");
   std::sort(ids.begin(), ids.end());
-  for (const std::string& found : ids)
-    std::cout << found << " " << spool_state(spool, found) << "\n";
+  for (const std::string& found : ids) {
+    const std::string state = spool_state(spool, found);
+    std::cout << found << " " << state << "\n";
+    if (state == "failed") {
+      // Surface the recorded reason right in the listing, so "why did my
+      // job fail" never needs a manual dig through failed/.
+      if (const auto why = read_file(spool + "/failed/" + found + ".err"))
+        std::cout << "  " << trim_copy(*why) << "\n";
+    }
+  }
   return 0;
 }
 
@@ -246,9 +276,15 @@ int cmd_report(const std::string& spool, const std::string& id, bool csv) {
       spool + "/done/" + id + "." + (csv ? "csv" : "md");
   const auto text = read_file(path);
   if (!text) {
+    const std::string state = spool_state(spool, id);
     std::cerr << "error: no completed report at '" << path
-              << "' (status: " << spool_state(spool, id) << ")\n";
-    return 1;
+              << "' (status: " << state << ")\n";
+    if (state == "failed") {
+      if (const auto why = read_file(spool + "/failed/" + id + ".err"))
+        std::cerr << "  " << trim_copy(*why) << "\n";
+      return kExitJobFailed;
+    }
+    return kExitBadRequest;
   }
   std::cout << *text;
   return 0;
