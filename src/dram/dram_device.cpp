@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "support/check.hpp"
 
@@ -32,10 +33,10 @@ DramDevice::DramDevice(const Geometry& geometry, const DeviceParams& params,
       weak_cells_(geometry, params.weak_cells, seed),
       zero_row_(std::make_unique<std::uint8_t[]>(geometry.row_bytes)),
       open_row_(geometry.total_banks(), -1),
-      weak_row_(geometry.total_rows(), 0),
+      disturbance_(weak_cells_.row_index(), geometry),
+      trr_sampler_(params.trr.sampler_entries),
       next_refresh_(params.timings.refresh_window_ns) {
   std::memset(zero_row_.get(), 0, geometry_.row_bytes);
-  for (const std::uint64_t r : weak_cells_.vulnerable_rows()) weak_row_[r] = 1;
 }
 
 std::uint8_t* DramDevice::row_storage(std::uint64_t flat_row) {
@@ -65,7 +66,7 @@ DramDevice::Image DramDevice::capture_image() const {
   Image image;
   image.rows = rows_;  // refcount bumps only — payloads stay shared
   image.open_row = open_row_;
-  image.disturbance = disturbance_;
+  image.disturbance = disturbance_.capture();  // O(touched this window)
   image.flips = flips_;
   image.live_flips = live_flips_;
   image.trr_sampler = trr_sampler_;
@@ -84,7 +85,7 @@ DramDevice::Image DramDevice::capture_image() const {
 void DramDevice::restore_image(const Image& image) {
   rows_ = image.rows;  // share again; the image stays valid for re-restore
   open_row_ = image.open_row;
-  disturbance_ = image.disturbance;
+  disturbance_.restore(image.disturbance);
   flips_ = image.flips;
   live_flips_ = image.live_flips;
   trr_sampler_ = image.trr_sampler;
@@ -105,7 +106,7 @@ void DramDevice::restore_image(const Image& image) {
 void DramDevice::advance(SimTime dt) {
   now_ += dt;
   while (now_ >= next_refresh_) {
-    disturbance_.clear();
+    disturbance_.clear_window();
     trr_sampler_.clear();
     ++refreshes_;
     next_refresh_ += params_.timings.refresh_window_ns;
@@ -114,69 +115,69 @@ void DramDevice::advance(SimTime dt) {
 
 void DramDevice::refresh_now() {
   // An explicit refresh also restarts the retention window.
-  disturbance_.clear();
+  disturbance_.clear_window();
   trr_sampler_.clear();
   ++refreshes_;
   next_refresh_ = now_ + params_.timings.refresh_window_ns;
 }
 
 void DramDevice::trr_observe(std::uint64_t aggressor_flat) {
-  auto it = trr_sampler_.find(aggressor_flat);
-  if (it == trr_sampler_.end()) {
-    if (trr_sampler_.size() >= params_.trr.sampler_entries) {
-      // Evict the coldest tracked row (the finite-sampler weakness).
-      auto coldest = trr_sampler_.begin();
-      for (auto i = trr_sampler_.begin(); i != trr_sampler_.end(); ++i)
-        if (i->second < coldest->second) coldest = i;
-      trr_sampler_.erase(coldest);
-    }
-    it = trr_sampler_.emplace(aggressor_flat, 0).first;
-  }
-  if (++it->second < params_.trr.threshold) return;
+  std::size_t slot = trr_sampler_.find(aggressor_flat);
+  if (slot == TrrSampler::kNpos) slot = trr_sampler_.insert(aggressor_flat);
+  trr_sampler_.add(slot, 1);
+  if (trr_sampler_.count(slot) < params_.trr.threshold) return;
   // Targeted refresh of both neighbours: their disturbance is reset.
   ++trr_hits_;
-  it->second = 0;
+  trr_sampler_.set_count(slot, 0);
   const std::uint64_t row_in_bank =
       aggressor_flat % geometry_.rows_per_bank;
-  if (row_in_bank > 0) disturbance_.erase(aggressor_flat - 1);
-  if (row_in_bank + 1 < geometry_.rows_per_bank)
-    disturbance_.erase(aggressor_flat + 1);
+  const RowIndex& weak = weak_cells_.row_index();
+  if (row_in_bank > 0) {
+    const std::size_t o = weak.find(aggressor_flat - 1);
+    if (o != RowIndex::kNpos) disturbance_.reset(o);
+  }
+  if (row_in_bank + 1 < geometry_.rows_per_bank) {
+    const std::size_t o = weak.find(aggressor_flat + 1);
+    if (o != RowIndex::kNpos) disturbance_.reset(o);
+  }
 }
 
 void DramDevice::clear_live_flips(std::uint64_t flat_row, std::uint32_t col,
                                   std::uint64_t len) {
-  const auto it = live_flips_.find(flat_row);
-  if (it == live_flips_.end()) return;
-  auto& vec = it->second;
-  vec.erase(std::remove_if(vec.begin(), vec.end(),
-                           [&](const LiveFlip& f) {
-                             return f.col >= col && f.col < col + len;
-                           }),
-            vec.end());
-  if (vec.empty()) live_flips_.erase(it);
+  live_flips_.erase_cols(flat_row, col, len);
 }
 
 void DramDevice::ecc_filter(std::uint64_t flat_row, std::uint32_t col,
                             std::span<std::uint8_t> chunk) {
-  const auto it = live_flips_.find(flat_row);
-  if (it == live_flips_.end()) return;
-  // Group the row's live flips by 64-bit word and act on those that overlap
-  // the read range.
-  std::unordered_map<std::uint32_t, std::vector<const LiveFlip*>> by_word;
-  for (const LiveFlip& f : it->second) by_word[f.col / 8].push_back(&f);
-  for (const auto& [word, flips] : by_word) {
+  const LiveFlipTable::Range range = live_flips_.row_range(flat_row);
+  if (range.begin == range.end) return;
+  // Act per 64-bit word on the row's live flips: one flip in a word is
+  // corrected if the read covers it, two or more in a word that the read
+  // overlaps are uncorrectable. Sorting the row's (col, bit) records
+  // groups words deterministically regardless of flip order.
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> flips;
+  flips.reserve(range.end - range.begin);
+  for (std::size_t i = range.begin; i < range.end; ++i)
+    flips.emplace_back(live_flips_.col_at(i), live_flips_.bit_at(i));
+  std::sort(flips.begin(), flips.end());
+  for (std::size_t i = 0; i < flips.size();) {
+    const std::uint32_t word = flips[i].first / 8;
+    std::size_t j = i;
+    while (j < flips.size() && flips[j].first / 8 == word) ++j;
     // Does this word overlap the chunk at all?
     const std::uint32_t word_lo = word * 8;
-    if (word_lo + 8 <= col || word_lo >= col + chunk.size()) continue;
-    if (flips.size() == 1) {
-      const LiveFlip& f = *flips.front();
-      if (f.col >= col && f.col < col + chunk.size()) {
-        chunk[f.col - col] ^= static_cast<std::uint8_t>(1u << f.bit);
-        ++ecc_corrected_;
+    if (word_lo + 8 > col && word_lo < col + chunk.size()) {
+      if (j - i == 1) {
+        const auto [fcol, fbit] = flips[i];
+        if (fcol >= col && fcol < col + chunk.size()) {
+          chunk[fcol - col] ^= static_cast<std::uint8_t>(1u << fbit);
+          ++ecc_corrected_;
+        }
+      } else {
+        ++ecc_uncorrectable_;  // Detected, not corrected (machine check).
       }
-    } else {
-      ++ecc_uncorrectable_;  // Detected, not corrected (machine check).
     }
+    i = j;
   }
 }
 
@@ -254,42 +255,41 @@ bool DramDevice::aggressor_bit(const DramAddress& victim, std::int32_t delta,
 void DramDevice::check_victim_row(std::uint64_t victim_flat,
                                   const DramAddress& victim,
                                   const RowDisturbance& d) {
-  const auto& cells = weak_cells_.cells_in_row(victim_flat);
+  const WeakCellSpan cells = weak_cells_.cells_in_row(victim_flat);
   if (cells.empty()) return;
   // Read through the const view and clone (CoW) only when a bit actually
   // flips — the common no-flip check must not copy snapshot-shared rows.
+  // Cell fields are read straight from the packed arena by ordinal; only
+  // the fields a step needs are decoded.
   const std::uint8_t* data = row_view(victim_flat);
   std::uint8_t* mut = nullptr;
-  for (const WeakCell& cell : cells) {
-    const bool stored = ((mut ? mut : data)[cell.col] >> cell.bit) & 1u;
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    const std::size_t o = cells.ordinal(k);
+    const std::uint32_t ccol = weak_cells_.col_at(o);
+    const std::uint8_t cbit = weak_cells_.bit_at(o);
+    const bool stored = ((mut ? mut : data)[ccol] >> cbit) & 1u;
     // Only charged cells can lose charge: true-cell charged at 1, anti at 0.
-    if (stored != cell.true_cell) continue;
+    if (stored != weak_cells_.true_cell_at(o)) continue;
 
-    double effective = static_cast<double>(d.acts_above) * cell.couple_above +
-                       static_cast<double>(d.acts_below) * cell.couple_below;
+    double effective =
+        static_cast<double>(d.acts_above) * weak_cells_.couple_above_at(o) +
+        static_cast<double>(d.acts_below) * weak_cells_.couple_below_at(o);
     if (params_.data_pattern_sensitivity) {
       // Stripe patterns (aggressor bit opposite to victim bit) couple at
       // full strength; matching bits couple more weakly.
-      const bool above = aggressor_bit(victim, -1, cell.col, cell.bit);
-      const bool below = aggressor_bit(victim, +1, cell.col, cell.bit);
+      const bool above = aggressor_bit(victim, -1, ccol, cbit);
+      const bool below = aggressor_bit(victim, +1, ccol, cbit);
       const bool any_opposite = (above != stored) || (below != stored);
       if (!any_opposite) effective *= params_.same_pattern_coupling;
     }
-    if (effective < static_cast<double>(cell.threshold)) continue;
+    if (effective < static_cast<double>(weak_cells_.threshold_at(o))) continue;
 
     if (!mut) mut = row_storage(victim_flat);  // may clone a shared row
-    mut[cell.col] = static_cast<std::uint8_t>(
-        mut[cell.col] ^ (1u << cell.bit));
+    mut[ccol] = static_cast<std::uint8_t>(mut[ccol] ^ (1u << cbit));
     DramAddress at = victim;
-    at.col = cell.col;
-    FlipEvent ev;
-    ev.addr = mapping_.encode(at);
-    ev.coord = at;
-    ev.bit = cell.bit;
-    ev.to_one = !stored;
-    ev.time = now_;
-    flips_.push_back(ev);
-    live_flips_[victim_flat].push_back({cell.col, cell.bit});
+    at.col = ccol;
+    flips_.append(mapping_.encode(at), cbit, !stored, now_);
+    live_flips_.add(victim_flat, ccol, cbit);
     ++total_flips_;
     ++mutation_epoch_;
   }
@@ -298,26 +298,29 @@ void DramDevice::check_victim_row(std::uint64_t victim_flat,
 void DramDevice::apply_disturbance(const DramAddress& aggressor) {
   const std::uint64_t agg_flat = flat_row(geometry_, aggressor);
   if (params_.trr.enabled) trr_observe(agg_flat);
+  const RowIndex& weak = weak_cells_.row_index();
   // Victim above the aggressor (row-1): the aggressor is its below-neighbour.
   if (aggressor.row > 0) {
     const std::uint64_t victim_flat = agg_flat - 1;
-    if (weak_row_[victim_flat] != 0) {
-      auto& d = disturbance_[victim_flat];
-      ++d.acts_below;
+    const std::size_t o = weak.find(victim_flat);
+    if (o != RowIndex::kNpos) {
+      const DisturbanceTable::Counters c = disturbance_.touch(o);
+      ++c.below;
       DramAddress victim = aggressor;
       victim.row -= 1;
-      check_victim_row(victim_flat, victim, d);
+      check_victim_row(victim_flat, victim, {c.above, c.below});
     }
   }
   // Victim below the aggressor (row+1): the aggressor is its above-neighbour.
   if (aggressor.row + 1 < geometry_.rows_per_bank) {
     const std::uint64_t victim_flat = agg_flat + 1;
-    if (weak_row_[victim_flat] != 0) {
-      auto& d = disturbance_[victim_flat];
-      ++d.acts_above;
+    const std::size_t o = weak.find(victim_flat);
+    if (o != RowIndex::kNpos) {
+      const DisturbanceTable::Counters c = disturbance_.touch(o);
+      ++c.above;
       DramAddress victim = aggressor;
       victim.row += 1;
-      check_victim_row(victim_flat, victim, d);
+      check_victim_row(victim_flat, victim, {c.above, c.below});
     }
   }
 }
@@ -376,6 +379,7 @@ void DramDevice::hammer_burst(std::span<const PhysAddr> aggressors,
   // the TRR sampler observes).
   struct VictimDelta {
     std::uint64_t flat = 0;
+    std::size_t ordinal = 0;  ///< Weak-row ordinal in the packed arena.
     DramAddress coord;       ///< Victim row, col 0 (for the pattern check).
     std::uint32_t above = 0;  ///< acts_above increments per iteration.
     std::uint32_t below = 0;  ///< acts_below increments per iteration.
@@ -388,11 +392,12 @@ void DramDevice::hammer_burst(std::span<const PhysAddr> aggressors,
   std::uint64_t acts_per_iter = 0;
   std::vector<VictimDelta> victims;
   std::vector<AggressorActs> agg_rows;
-  const auto victim_at = [&](std::uint64_t flat,
+  const RowIndex& weak = weak_cells_.row_index();
+  const auto victim_at = [&](std::uint64_t flat, std::size_t ordinal,
                              const DramAddress& coord) -> VictimDelta& {
     for (VictimDelta& v : victims)
       if (v.flat == flat) return v;
-    victims.push_back({flat, coord, 0, 0});
+    victims.push_back({flat, ordinal, coord, 0, 0});
     return victims.back();
   };
   for (const PatternAccess& p : pattern) {
@@ -408,18 +413,23 @@ void DramDevice::hammer_burst(std::span<const PhysAddr> aggressors,
         break;
       }
     if (!known) agg_rows.push_back({p.flat, 1});
-    if (p.coord.row > 0 && weak_row_[p.flat - 1] != 0) {
-      DramAddress v = p.coord;
-      v.row -= 1;
-      v.col = 0;
-      ++victim_at(p.flat - 1, v).below;
+    if (p.coord.row > 0) {
+      const std::size_t o = weak.find(p.flat - 1);
+      if (o != RowIndex::kNpos) {
+        DramAddress v = p.coord;
+        v.row -= 1;
+        v.col = 0;
+        ++victim_at(p.flat - 1, o, v).below;
+      }
     }
-    if (p.coord.row + 1 < geometry_.rows_per_bank &&
-        weak_row_[p.flat + 1] != 0) {
-      DramAddress v = p.coord;
-      v.row += 1;
-      v.col = 0;
-      ++victim_at(p.flat + 1, v).above;
+    if (p.coord.row + 1 < geometry_.rows_per_bank) {
+      const std::size_t o = weak.find(p.flat + 1);
+      if (o != RowIndex::kNpos) {
+        DramAddress v = p.coord;
+        v.row += 1;
+        v.col = 0;
+        ++victim_at(p.flat + 1, o, v).above;
+      }
     }
   }
 
@@ -433,7 +443,7 @@ void DramDevice::hammer_burst(std::span<const PhysAddr> aggressors,
   if (fast && params_.trr.enabled) {
     if (agg_rows.size() > params_.trr.sampler_entries) fast = false;
     for (const AggressorActs& r : agg_rows)
-      if (fast && trr_sampler_.find(r.flat) == trr_sampler_.end()) fast = false;
+      if (fast && trr_sampler_.find(r.flat) == TrrSampler::kNpos) fast = false;
   }
   if (!fast) {
     for (; done < iterations; ++done)
@@ -442,19 +452,22 @@ void DramDevice::hammer_burst(std::span<const PhysAddr> aggressors,
   }
 
   // Apply `n` eventless iterations in bulk. Counter arithmetic is modular
-  // like the slow path's, and operator[] creates absent entries exactly
-  // where the per-access increments would have.
+  // like the slow path's, and touch() validates absent entries exactly
+  // where the per-access increments would have created them.
   const auto bulk_apply = [&](std::uint64_t n) {
     now_ += n * iter_latency;
     total_acts_ += n * acts_per_iter;
     for (const VictimDelta& v : victims) {
-      RowDisturbance& d = disturbance_[v.flat];
-      d.acts_above += static_cast<std::uint32_t>(n * v.above);
-      d.acts_below += static_cast<std::uint32_t>(n * v.below);
+      const DisturbanceTable::Counters c = disturbance_.touch(v.ordinal);
+      c.above += static_cast<std::uint32_t>(n * v.above);
+      c.below += static_cast<std::uint32_t>(n * v.below);
     }
     if (params_.trr.enabled)
-      for (const AggressorActs& r : agg_rows)
-        trr_sampler_[r.flat] += static_cast<std::uint32_t>(n * r.per_iter);
+      for (const AggressorActs& r : agg_rows) {
+        std::size_t slot = trr_sampler_.find(r.flat);
+        if (slot == TrrSampler::kNpos) slot = trr_sampler_.insert(r.flat);
+        trr_sampler_.add(slot, static_cast<std::uint32_t>(n * r.per_iter));
+      }
   };
 
   std::uint64_t rem = iterations - done;
@@ -479,9 +492,9 @@ void DramDevice::hammer_burst(std::span<const PhysAddr> aggressors,
     // crossing iteration follows from the per-iteration multiplicity.
     if (params_.trr.enabled) {
       for (const AggressorActs& r : agg_rows) {
-        const auto it = trr_sampler_.find(r.flat);
+        const std::size_t slot = trr_sampler_.find(r.flat);
         const std::uint64_t count =
-            it != trr_sampler_.end() ? it->second : 0;
+            slot != TrrSampler::kNpos ? trr_sampler_.count(slot) : 0;
         const std::uint64_t needed =
             params_.trr.threshold > count ? params_.trr.threshold - count : 1;
         next_event =
@@ -491,36 +504,40 @@ void DramDevice::hammer_burst(std::span<const PhysAddr> aggressors,
 
     // (c) Weak-cell flip: the first iteration whose end-of-iteration
     // disturbance satisfies the flip condition — evaluated with the very
-    // expression check_victim_row uses, so the crossing point is exact.
+    // expression check_victim_row uses, reading thresholds and couplings
+    // straight from the packed arena, so the crossing point is exact.
     // Cell data and coupling are constant between events (flips are events
     // themselves), making the condition monotone in the iteration count.
     for (const VictimDelta& v : victims) {
-      const auto& cells = weak_cells_.cells_in_row(v.flat);
+      const WeakCellSpan cells = weak_cells_.cells_in_row(v.flat);
       if (cells.empty()) continue;
-      std::uint32_t a0 = 0;
-      std::uint32_t b0 = 0;
-      if (const auto it = disturbance_.find(v.flat);
-          it != disturbance_.end()) {
-        a0 = it->second.acts_above;
-        b0 = it->second.acts_below;
-      }
+      const std::uint32_t a0 = disturbance_.above(v.ordinal);
+      const std::uint32_t b0 = disturbance_.below(v.ordinal);
       const std::uint8_t* data = row_view(v.flat);
-      for (const WeakCell& cell : cells) {
-        const bool stored = (data[cell.col] >> cell.bit) & 1u;
-        if (stored != cell.true_cell) continue;  // not charged: cannot flip
+      for (std::size_t k = 0; k < cells.size(); ++k) {
+        const std::size_t o = cells.ordinal(k);
+        const std::uint32_t ccol = weak_cells_.col_at(o);
+        const std::uint8_t cbit = weak_cells_.bit_at(o);
+        const bool stored = (data[ccol] >> cbit) & 1u;
+        if (stored != weak_cells_.true_cell_at(o))
+          continue;  // not charged: cannot flip
         double factor = 1.0;
         if (params_.data_pattern_sensitivity) {
-          const bool above = aggressor_bit(v.coord, -1, cell.col, cell.bit);
-          const bool below = aggressor_bit(v.coord, +1, cell.col, cell.bit);
+          const bool above = aggressor_bit(v.coord, -1, ccol, cbit);
+          const bool below = aggressor_bit(v.coord, +1, ccol, cbit);
           if (!((above != stored) || (below != stored)))
             factor = params_.same_pattern_coupling;
         }
+        const float couple_above = weak_cells_.couple_above_at(o);
+        const float couple_below = weak_cells_.couple_below_at(o);
+        const double threshold =
+            static_cast<double>(weak_cells_.threshold_at(o));
         const auto crosses = [&](std::uint64_t i) {
           double effective =
-              static_cast<double>(a0 + i * v.above) * cell.couple_above +
-              static_cast<double>(b0 + i * v.below) * cell.couple_below;
+              static_cast<double>(a0 + i * v.above) * couple_above +
+              static_cast<double>(b0 + i * v.below) * couple_below;
           effective *= factor;
-          return effective >= static_cast<double>(cell.threshold);
+          return effective >= threshold;
         };
         if (!crosses(rem)) continue;  // no flip within the remaining budget
         std::uint64_t lo = 1;
@@ -555,22 +572,35 @@ void DramDevice::inject_flip(PhysAddr addr, std::uint8_t bit) {
   std::uint8_t* data = row_storage(fr);
   const bool was_set = (data[c.col] >> bit) & 1u;
   data[c.col] = static_cast<std::uint8_t>(data[c.col] ^ (1u << bit));
-  FlipEvent ev;
-  ev.addr = addr;
-  ev.coord = c;
-  ev.bit = bit;
-  ev.to_one = !was_set;
-  ev.time = now_;
-  flips_.push_back(ev);
-  live_flips_[fr].push_back({c.col, bit});
+  flips_.append(addr, bit, !was_set, now_);
+  live_flips_.add(fr, c.col, bit);
   ++total_flips_;
   ++mutation_epoch_;
 }
 
 std::vector<FlipEvent> DramDevice::drain_flips() {
+  // Index-sorted emit: events leave in append order, coordinates
+  // re-derived from the bijective mapping — no map iteration anywhere.
   std::vector<FlipEvent> out;
-  out.swap(flips_);
+  out.reserve(flips_.size());
+  for (std::size_t i = 0; i < flips_.size(); ++i) {
+    FlipEvent ev;
+    ev.addr = flips_.addr_at(i);
+    ev.coord = mapping_.decode(ev.addr);
+    ev.bit = flips_.bit_at(i);
+    ev.to_one = flips_.to_one_at(i);
+    ev.time = flips_.time_at(i);
+    out.push_back(ev);
+  }
+  flips_.clear();
   return out;
+}
+
+std::uint64_t DramDevice::state_bytes() const noexcept {
+  return weak_cells_.state_bytes() + disturbance_.heap_bytes() +
+         trr_sampler_.heap_bytes() + live_flips_.heap_bytes() +
+         flips_.heap_bytes() +
+         open_row_.capacity() * sizeof(std::int64_t);
 }
 
 }  // namespace explframe::dram

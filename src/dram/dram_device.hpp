@@ -14,6 +14,7 @@
 
 #include "dram/address_mapping.hpp"
 #include "dram/geometry.hpp"
+#include "dram/packed_state.hpp"
 #include "dram/weak_cells.hpp"
 #include "support/units.hpp"
 
@@ -93,17 +94,18 @@ class DramDevice {
 
   /// Complete mutable device state, captured copy-on-write: row payloads
   /// are shared with the live device (refcounted) and cloned only when one
-  /// side writes, so capturing is O(rows touched), not O(bytes stored).
-  /// The immutable members (geometry, params, mapping, weak-cell model)
-  /// are not part of the image — an image only ever goes back into the
-  /// device that produced it.
+  /// side writes, so capturing is O(rows touched), not O(bytes stored);
+  /// the packed bookkeeping tables are captured at O(entries touched this
+  /// window) likewise. The immutable members (geometry, params, mapping,
+  /// weak-cell model) are not part of the image — an image only ever goes
+  /// back into the device that produced it.
   struct Image {
     std::unordered_map<std::uint64_t, std::shared_ptr<std::uint8_t[]>> rows;
     std::vector<std::int64_t> open_row;
-    std::unordered_map<std::uint64_t, RowDisturbance> disturbance;
-    std::vector<FlipEvent> flips;
-    std::unordered_map<std::uint64_t, std::vector<LiveFlip>> live_flips;
-    std::unordered_map<std::uint64_t, std::uint32_t> trr_sampler;
+    std::vector<DisturbanceTable::Entry> disturbance;
+    FlipLog flips;
+    LiveFlipTable live_flips;
+    TrrSampler trr_sampler;
     SimTime now = 0;
     SimTime next_refresh = 0;
     std::uint64_t mutation_epoch = 0;
@@ -190,6 +192,12 @@ class DramDevice {
     return ecc_uncorrectable_;
   }
 
+  /// Heap bytes of the representation-dependent bookkeeping (weak-cell
+  /// arena, disturbance counters, TRR sampler, flip tables, row-buffer
+  /// state) — what bench_geometry compares against the seed layout. Row
+  /// payloads are excluded: both representations store those identically.
+  std::uint64_t state_bytes() const noexcept;
+
  private:
   std::uint8_t* row_storage(std::uint64_t flat_row);
   const std::uint8_t* row_view(std::uint64_t flat_row) const;
@@ -221,20 +229,20 @@ class DramDevice {
   // Row-buffer state: open row per flat bank (-1 = closed).
   std::vector<std::int64_t> open_row_;
 
-  // Fast path for the hammer loop: weak_[r] != 0 iff row r contains weak
-  // cells. Avoids two hash lookups per activation.
-  std::vector<std::uint8_t> weak_row_;
+  // Disturbance counters for rows that contain weak cells, this window —
+  // dense per-bank arrays over weak-row ordinals (the weak-cell arena's
+  // RowIndex doubles as the presence test the seed's weak_row_ byte array
+  // provided, without the byte-per-row memory floor).
+  DisturbanceTable disturbance_;
 
-  // Disturbance counters for rows that contain weak cells, this window.
-  std::unordered_map<std::uint64_t, RowDisturbance> disturbance_;
+  // Flip event log (SoA; coordinates re-derived at drain).
+  FlipLog flips_;
 
-  std::vector<FlipEvent> flips_;
-
-  // Flipped-but-not-yet-rewritten bits, per row (ECC bookkeeping).
-  std::unordered_map<std::uint64_t, std::vector<LiveFlip>> live_flips_;
+  // Flipped-but-not-yet-rewritten bits (ECC bookkeeping), row-sorted SoA.
+  LiveFlipTable live_flips_;
 
   // TRR sampler: activation counts of tracked rows this window.
-  std::unordered_map<std::uint64_t, std::uint32_t> trr_sampler_;
+  TrrSampler trr_sampler_;
 
   SimTime now_ = 0;
   SimTime next_refresh_ = 0;

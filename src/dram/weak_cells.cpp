@@ -1,14 +1,68 @@
 #include "dram/weak_cells.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "support/check.hpp"
 #include "support/units.hpp"
 
 namespace explframe::dram {
+namespace {
 
-const std::vector<WeakCell> WeakCellModel::kEmpty{};
+// Coupling values are drawn from exactly three shapes: 0.0f, 1.0f, or
+// float(0.5 + 0.5*u01) in [0.5, 1.0) — the latter has a fixed biased
+// exponent of 126, so the 23 mantissa bits encode it losslessly. Each side
+// gets a 2-bit shape code (0 = zero, 1 = one, 2 = fractional) and the two
+// sides share one mantissa field: generation never produces two distinct
+// fractional sides, and the constructor CHECKs rather than rounding if a
+// hand-built population tries.
+constexpr std::uint32_t kFracExponent = 126;
+constexpr std::uint32_t kMantissaMask = (1u << 23) - 1;
+
+std::uint64_t encode_couple(float above, float below) {
+  std::uint32_t mantissa = 0;
+  bool have_mantissa = false;
+  const auto side = [&](float v) -> std::uint64_t {
+    if (v == 0.0F) return 0;
+    if (v == 1.0F) return 1;
+    const auto raw = std::bit_cast<std::uint32_t>(v);
+    EXPLFRAME_CHECK_MSG((raw >> 23) == kFracExponent,
+                        "weak-cell coupling outside {0, 1} U [0.5, 1)");
+    const std::uint32_t m = raw & kMantissaMask;
+    EXPLFRAME_CHECK_MSG(!have_mantissa || m == mantissa,
+                        "weak-cell coupling: two distinct fractional sides");
+    mantissa = m;
+    have_mantissa = true;
+    return 2;
+  };
+  const std::uint64_t a = side(above);
+  const std::uint64_t b = side(below);
+  return (a << 25) | (b << 23) | mantissa;
+}
+
+float decode_side(std::uint64_t code, std::uint64_t mantissa) {
+  if (code == 0) return 0.0F;
+  if (code == 1) return 1.0F;
+  return std::bit_cast<float>((kFracExponent << 23) |
+                              static_cast<std::uint32_t>(mantissa));
+}
+
+void decode_couple(std::uint64_t packed, float& above, float& below) {
+  const std::uint64_t mantissa = packed & kMantissaMask;
+  above = decode_side((packed >> 25) & 3, mantissa);
+  below = decode_side((packed >> 23) & 3, mantissa);
+}
+
+}  // namespace
+
+WeakCell WeakCellSpan::Iterator::operator*() const {
+  return model_->cell_at(pos_);
+}
+
+WeakCell WeakCellSpan::operator[](std::size_t i) const {
+  return model_->cell_at(begin_ + i);
+}
 
 WeakCellModel::WeakCellModel(const Geometry& geometry,
                              const WeakCellParams& params, std::uint64_t seed)
@@ -37,6 +91,8 @@ WeakCellModel::WeakCellModel(const Geometry& geometry,
   }
 
   const std::uint64_t rows = geometry.total_rows();
+  std::vector<std::pair<std::uint64_t, WeakCell>> staged;
+  staged.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     WeakCell cell;
     cell.col = static_cast<std::uint32_t>(rng.uniform(geometry.row_bytes));
@@ -61,31 +117,115 @@ WeakCellModel::WeakCellModel(const Geometry& geometry,
           static_cast<float>(0.5 + 0.5 * rng.uniform01());
       if (rng.bernoulli(0.5)) std::swap(cell.couple_above, cell.couple_below);
     }
-    const std::uint64_t row = rng.uniform(rows);
-    auto& vec = by_row_[row];
-    // Avoid exact duplicates (same col+bit) within a row.
-    const bool dup = std::any_of(vec.begin(), vec.end(), [&](const WeakCell& w) {
-      return w.col == cell.col && w.bit == cell.bit;
-    });
-    if (dup) continue;
-    vec.push_back(cell);
-    ++total_;
+    staged.emplace_back(rng.uniform(rows), cell);
   }
+  build(geometry, std::move(staged));
 }
 
-const std::vector<WeakCell>& WeakCellModel::cells_in_row(
-    std::uint64_t flat_row) const {
-  const auto it = by_row_.find(flat_row);
-  return it == by_row_.end() ? kEmpty : it->second;
+WeakCellModel::WeakCellModel(
+    const Geometry& geometry, const WeakCellParams& params,
+    std::span<const std::pair<std::uint64_t, WeakCell>> cells)
+    : params_(params) {
+  build(geometry, {cells.begin(), cells.end()});
+}
+
+void WeakCellModel::build(
+    const Geometry& geometry,
+    std::vector<std::pair<std::uint64_t, WeakCell>> staged) {
+  EXPLFRAME_CHECK_MSG(geometry.total_rows() <= (1ull << kRowBits),
+                      "geometry exceeds the 40-bit flat-row space");
+  // Canonical arena order: ascending row, presentation order within a row
+  // (matching the seed layout's per-row insertion order, which the golden
+  // flip logs depend on).
+  std::stable_sort(staged.begin(), staged.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Keep the first occurrence of each (col, bit) within a row — identical
+  // to the seed layout's skip-at-insert dedup.
+  std::vector<std::pair<std::uint64_t, WeakCell>> kept;
+  kept.reserve(staged.size());
+  std::size_t run_begin = 0;  // first kept entry of the current row
+  for (const auto& [row, cell] : staged) {
+    if (!kept.empty() && kept.back().first != row) run_begin = kept.size();
+    bool dup = false;
+    for (std::size_t j = run_begin; j < kept.size(); ++j) {
+      if (kept[j].second.col == cell.col && kept[j].second.bit == cell.bit) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) kept.emplace_back(row, cell);
+  }
+
+  std::vector<std::uint64_t> rows;
+  col_.reserve(kept.size());
+  bit_.reserve(kept.size());
+  threshold_.reserve(kept.size());
+  polarity_.reserve(kept.size());
+  couple_.reserve(kept.size());
+  for (const auto& [row, cell] : kept) {
+    if (rows.empty() || rows.back() != row) {
+      rows.push_back(row);
+      row_start_.push_back(static_cast<std::uint32_t>(col_.size()));
+    }
+    col_.push_back(cell.col);
+    bit_.push_back(cell.bit);
+    threshold_.push_back(cell.threshold);
+    polarity_.push_back(cell.true_cell ? 1 : 0);
+    couple_.push_back(encode_couple(cell.couple_above, cell.couple_below));
+  }
+  row_start_.push_back(static_cast<std::uint32_t>(col_.size()));
+  // At realistic densities (~1 cell per vulnerable row) the geometric
+  // push_back growth of row_start_ would otherwise be a sizeable slice of
+  // the whole arena; the build is one-shot, so trim it.
+  row_start_.shrink_to_fit();
+  rows_ = RowIndex(rows, geometry.total_rows());
+  total_ = kept.size();
+}
+
+WeakCellSpan WeakCellModel::cells_in_row(std::uint64_t flat_row) const {
+  const std::size_t o = rows_.find(flat_row);
+  if (o == RowIndex::kNpos) return {};
+  return {this, row_start_[o], row_start_[o + 1]};
 }
 
 std::vector<std::uint64_t> WeakCellModel::vulnerable_rows() const {
   std::vector<std::uint64_t> rows;
-  rows.reserve(by_row_.size());
-  for (const auto& [row, cells] : by_row_)
-    if (!cells.empty()) rows.push_back(row);
-  std::sort(rows.begin(), rows.end());
+  rows.reserve(rows_.size());
+  for (std::size_t o = 0; o < rows_.size(); ++o) rows.push_back(rows_.key_at(o));
   return rows;
+}
+
+std::size_t WeakCellModel::row_span_begin(std::size_t row_ordinal) const {
+  EXPLFRAME_CHECK(row_ordinal < row_start_.size());
+  return row_start_[row_ordinal];
+}
+
+float WeakCellModel::couple_above_at(std::size_t ordinal) const {
+  const std::uint64_t packed = couple_.get(ordinal);
+  return decode_side((packed >> 25) & 3, packed & kMantissaMask);
+}
+
+float WeakCellModel::couple_below_at(std::size_t ordinal) const {
+  const std::uint64_t packed = couple_.get(ordinal);
+  return decode_side((packed >> 23) & 3, packed & kMantissaMask);
+}
+
+WeakCell WeakCellModel::cell_at(std::size_t ordinal) const {
+  WeakCell cell;
+  cell.col = static_cast<std::uint32_t>(col_.get(ordinal));
+  cell.bit = static_cast<std::uint8_t>(bit_.get(ordinal));
+  cell.threshold = static_cast<std::uint32_t>(threshold_.get(ordinal));
+  cell.true_cell = polarity_.get(ordinal) != 0;
+  decode_couple(couple_.get(ordinal), cell.couple_above, cell.couple_below);
+  return cell;
+}
+
+std::uint64_t WeakCellModel::state_bytes() const noexcept {
+  return rows_.heap_bytes() +
+         row_start_.capacity() * sizeof(std::uint32_t) + col_.heap_bytes() +
+         bit_.heap_bytes() + threshold_.heap_bytes() + polarity_.heap_bytes() +
+         couple_.heap_bytes();
 }
 
 }  // namespace explframe::dram

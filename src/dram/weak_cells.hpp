@@ -7,19 +7,29 @@
 // cell is a true-cell (charged = 1, flips 1->0) or anti-cell (charged = 0,
 // flips 0->1), and flips are strongly repeatable at the same cell.
 //
-// WeakCellModel samples such a population deterministically from a seed.
+// WeakCellModel samples such a population deterministically from a seed and
+// stores it as one bit-packed SoA arena sorted by flat row: a RowIndex maps
+// vulnerable rows to dense ordinals, per-row spans address contiguous
+// record runs, and each field lives in its own PackedVector at exactly the
+// width the domain needs (col:28, bit:3, threshold:19, polarity:1,
+// coupling:27). The seed layout — an unordered_map of heap vectors — cost
+// ~100 bytes of node overhead per cell; the arena costs ~10 bytes per cell
+// with no dense per-row floor, which is what lets multi-GB geometries fit.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "dram/geometry.hpp"
+#include "support/packed.hpp"
 #include "support/rng.hpp"
 
 namespace explframe::dram {
 
-/// One disturbance-prone cell within a row.
+/// One disturbance-prone cell within a row (decoded view; the model stores
+/// cells bit-packed, not as this struct).
 struct WeakCell {
   std::uint32_t col = 0;     ///< Byte offset within the row.
   std::uint8_t bit = 0;      ///< Bit index within the byte, 0..7.
@@ -49,26 +59,141 @@ struct WeakCellParams {
   double single_sided_fraction = 0.30;
 };
 
-/// Immutable population of weak cells, indexed by flat row.
-class WeakCellModel {
+class WeakCellModel;
+
+/// Lightweight view over one row's contiguous run of arena records.
+/// Indexing decodes a WeakCell by value; `ordinal(i)` exposes the global
+/// arena ordinal so hot paths can read single fields without decoding.
+class WeakCellSpan {
  public:
-  WeakCellModel(const Geometry& geometry, const WeakCellParams& params,
-                std::uint64_t seed);
+  /// Forward iterator yielding decoded WeakCell values.
+  class Iterator {
+   public:
+    /// Decoded record at the current position.
+    WeakCell operator*() const;
+    /// Advance to the next record.
+    Iterator& operator++() noexcept {
+      ++pos_;
+      return *this;
+    }
+    /// Position equality (same span assumed).
+    bool operator!=(const Iterator& other) const noexcept {
+      return pos_ != other.pos_;
+    }
 
-  /// Weak cells in the given row (empty vector if none).
-  const std::vector<WeakCell>& cells_in_row(std::uint64_t flat_row) const;
+   private:
+    friend class WeakCellSpan;
+    Iterator(const WeakCellModel* model, std::size_t pos) noexcept
+        : model_(model), pos_(pos) {}
+    const WeakCellModel* model_;
+    std::size_t pos_;
+  };
 
-  std::size_t total_cells() const noexcept { return total_; }
-  const WeakCellParams& params() const noexcept { return params_; }
+  /// An empty span (no backing model).
+  WeakCellSpan() = default;
 
-  /// Rows that contain at least one weak cell (for test/diagnostic use).
-  std::vector<std::uint64_t> vulnerable_rows() const;
+  /// Number of weak cells in the row.
+  std::size_t size() const noexcept { return end_ - begin_; }
+  /// True when the row has no weak cells.
+  bool empty() const noexcept { return begin_ == end_; }
+  /// Decoded `i`-th cell of the row (CHECK via arena bounds).
+  WeakCell operator[](std::size_t i) const;
+  /// Global arena ordinal of the `i`-th cell (for per-field access).
+  std::size_t ordinal(std::size_t i) const noexcept { return begin_ + i; }
+  /// Iteration over decoded cells.
+  Iterator begin() const noexcept { return Iterator(model_, begin_); }
+  /// Past-the-end iterator.
+  Iterator end() const noexcept { return Iterator(model_, end_); }
 
  private:
+  friend class WeakCellModel;
+  WeakCellSpan(const WeakCellModel* model, std::size_t begin,
+               std::size_t end) noexcept
+      : model_(model), begin_(begin), end_(end) {}
+  const WeakCellModel* model_ = nullptr;
+  std::size_t begin_ = 0;
+  std::size_t end_ = 0;
+};
+
+/// Immutable population of weak cells stored as a bit-packed SoA arena
+/// sorted by flat row, with a two-level RowIndex directory for row lookup.
+class WeakCellModel {
+ public:
+  /// Packed field widths. Out-of-range values CHECK at construction —
+  /// never silently truncated.
+  static constexpr unsigned kRowBits = 40;
+  static constexpr unsigned kColBits = 28;        ///< byte offset in row
+  static constexpr unsigned kBitBits = 3;         ///< bit index 0..7
+  static constexpr unsigned kThresholdBits = 19;  ///< activations, < 2^19
+  static constexpr unsigned kCoupleBits = 27;     ///< 2+2 codes + mantissa
+
+  /// Sample a population deterministically from `seed`.
+  WeakCellModel(const Geometry& geometry, const WeakCellParams& params,
+                std::uint64_t seed);
+  /// Build from an explicit (row, cell) population — the differential and
+  /// property harnesses use this; the arena canonicalises row order while
+  /// preserving each row's presentation order, dropping later duplicates
+  /// of the same (col, bit) within a row.
+  WeakCellModel(const Geometry& geometry, const WeakCellParams& params,
+                std::span<const std::pair<std::uint64_t, WeakCell>> cells);
+
+  /// Weak cells in the given row (empty span if none).
+  WeakCellSpan cells_in_row(std::uint64_t flat_row) const;
+
+  /// Total cells across all rows.
+  std::size_t total_cells() const noexcept { return total_; }
+  /// The sampling parameters this population was drawn from.
+  const WeakCellParams& params() const noexcept { return params_; }
+
+  /// Rows that contain at least one weak cell, ascending (derived from the
+  /// sorted directory — independent of construction order).
+  std::vector<std::uint64_t> vulnerable_rows() const;
+
+  /// Sorted directory mapping vulnerable rows to dense row ordinals.
+  const RowIndex& row_index() const noexcept { return rows_; }
+  /// First arena ordinal of the `row_ordinal`-th vulnerable row; index
+  /// size() gives the arena end (CHECK: row_ordinal <= size()).
+  std::size_t row_span_begin(std::size_t row_ordinal) const;
+
+  /// Single-field arena reads for hot paths (CHECK: ordinal in range).
+  std::uint32_t threshold_at(std::size_t ordinal) const {
+    return static_cast<std::uint32_t>(threshold_.get(ordinal));
+  }
+  /// Byte offset within the row of the `ordinal`-th arena record.
+  std::uint32_t col_at(std::size_t ordinal) const {
+    return static_cast<std::uint32_t>(col_.get(ordinal));
+  }
+  /// Bit index within the byte of the `ordinal`-th arena record.
+  std::uint8_t bit_at(std::size_t ordinal) const {
+    return static_cast<std::uint8_t>(bit_.get(ordinal));
+  }
+  /// Polarity of the `ordinal`-th arena record.
+  bool true_cell_at(std::size_t ordinal) const {
+    return polarity_.get(ordinal) != 0;
+  }
+  /// Coupling to the row above for the `ordinal`-th arena record.
+  float couple_above_at(std::size_t ordinal) const;
+  /// Coupling to the row below for the `ordinal`-th arena record.
+  float couple_below_at(std::size_t ordinal) const;
+  /// Fully decoded record (CHECK: ordinal in range).
+  WeakCell cell_at(std::size_t ordinal) const;
+
+  /// Heap bytes held by the packed arena and its directory.
+  std::uint64_t state_bytes() const noexcept;
+
+ private:
+  void build(const Geometry& geometry,
+             std::vector<std::pair<std::uint64_t, WeakCell>> staged);
+
   WeakCellParams params_;
-  std::unordered_map<std::uint64_t, std::vector<WeakCell>> by_row_;
+  RowIndex rows_;
+  std::vector<std::uint32_t> row_start_;  ///< row ordinal -> arena begin
+  PackedVector col_{kColBits};
+  PackedVector bit_{kBitBits};
+  PackedVector threshold_{kThresholdBits};
+  PackedVector polarity_{1};
+  PackedVector couple_{kCoupleBits};
   std::size_t total_ = 0;
-  static const std::vector<WeakCell> kEmpty;
 };
 
 }  // namespace explframe::dram

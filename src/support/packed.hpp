@@ -1,0 +1,152 @@
+// Bit-packed SoA building blocks for giant sparse tables.
+//
+// The DRAM model keeps per-row bookkeeping (weak cells, disturbance
+// counters, live-flip records) whose natural keys are flat row numbers —
+// multi-GB geometries have hundreds of millions of rows, of which only a
+// sparse scattering carries state. The seed kept these tables as
+// unordered_maps of heap vectors: ~100 bytes of node/bucket/allocator
+// overhead per entry, plus a 1-byte-per-row presence array, capped the
+// simulable geometry long before row payloads did.
+//
+// This header provides the two primitives the packed representation is
+// built from (the CXCollections StrideVector idiom, generalised):
+//
+//   PackedVector  a vector of unsigned integers stored in exactly `bits`
+//                 bits each — one heap array, no per-element overhead.
+//                 Out-of-range values are rejected (CHECK), never
+//                 silently truncated.
+//
+//   RowIndex      a two-level sparse directory mapping a static sorted
+//                 key set (flat rows) to dense ordinals [0, size): a
+//                 per-block offset table plus, per occupied block, a
+//                 packed sorted key list and a coarse presence bitmap.
+//                 Lookup is O(1) + a short binary search; memory is
+//                 ~4 bytes per 512-row block plus ~2 bytes per present
+//                 key — no dense per-row floor.
+//
+// Both containers are deterministic value types: equality compares
+// logical contents, and their bytes never depend on insertion history.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace explframe {
+
+/// Vector of unsigned integers, each stored in exactly `bits` bits
+/// (1..64) within one contiguous word array. set/push_back CHECK that the
+/// value fits the field width — saturation is a caller bug, not a silent
+/// truncation. insert/erase shift the tail element-wise (O(n)); intended
+/// for small dynamic tables and large build-once arenas.
+class PackedVector {
+ public:
+  /// An empty 1-bit vector (for default-constructed members; assign a
+  /// properly sized instance before use).
+  PackedVector() = default;
+  /// An empty vector with the given field width (CHECK: 1..64).
+  explicit PackedVector(unsigned bits);
+
+  /// Field width in bits.
+  unsigned bits() const noexcept { return bits_; }
+  /// Largest storable value (all-ones of the field width).
+  std::uint64_t max_value() const noexcept { return mask_; }
+  /// Element count.
+  std::size_t size() const noexcept { return size_; }
+  /// True when no elements are stored.
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Element at `i` (CHECK: in range).
+  std::uint64_t get(std::size_t i) const;
+  /// Overwrite element `i` (CHECK: in range, value fits `bits()`).
+  void set(std::size_t i, std::uint64_t value);
+  /// Append (CHECK: value fits `bits()`).
+  void push_back(std::uint64_t value);
+  /// Insert before `pos` (CHECK: pos <= size, value fits), shifting the
+  /// tail one slot right.
+  void insert(std::size_t pos, std::uint64_t value);
+  /// Remove `count` elements starting at `pos` (CHECK: range valid),
+  /// shifting the tail left.
+  void erase(std::size_t pos, std::size_t count = 1);
+  /// Drop all elements (capacity retained).
+  void clear() noexcept { size_ = 0; }
+  /// Grow (zero-filled) or shrink to `count` elements.
+  void resize(std::size_t count);
+  /// Pre-allocate backing words for `count` elements.
+  void reserve(std::size_t count);
+
+  /// Heap bytes of the backing word array (capacity, not size).
+  std::uint64_t heap_bytes() const noexcept {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
+  /// Logical equality: same width, size and element values.
+  friend bool operator==(const PackedVector& a, const PackedVector& b);
+
+ private:
+  static std::size_t words_for(std::size_t count, unsigned bits) noexcept {
+    return (count * bits + 63) / 64;
+  }
+
+  unsigned bits_ = 1;
+  std::uint64_t mask_ = 1;
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Two-level sparse directory over a static, sorted set of uint64 keys in
+/// [0, key_limit): level 1 is a dense per-block slot table (one u32 per
+/// 2^kBlockBits keys), level 2 stores each occupied block's sorted
+/// key-within-block list bit-packed plus a coarse 64-bit presence bitmap
+/// for O(1) miss rejection. Maps each present key to its dense ordinal in
+/// sorted key order; `key_at` inverts. Built once from the full key set
+/// (the weak-cell population is immutable after sampling).
+class RowIndex {
+ public:
+  /// Keys per level-2 block (512: bitmap fits one u64 at 8 keys/bit).
+  static constexpr unsigned kBlockBits = 9;
+  /// Returned by find() for absent keys.
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  /// An empty directory over an empty key universe.
+  RowIndex() = default;
+  /// Build from strictly increasing keys, all < key_limit (CHECKed).
+  RowIndex(std::span<const std::uint64_t> sorted_keys,
+           std::uint64_t key_limit);
+
+  /// Number of present keys.
+  std::size_t size() const noexcept { return keys_; }
+  /// Exclusive upper bound of the key universe.
+  std::uint64_t key_limit() const noexcept { return key_limit_; }
+
+  /// True when `key` is present (keys outside the universe are absent).
+  bool contains(std::uint64_t key) const noexcept;
+  /// Dense ordinal of `key` in sorted order, or kNpos if absent.
+  std::size_t find(std::uint64_t key) const noexcept;
+  /// Ordinal of the first present key >= `key` (size() if none).
+  std::size_t lower_bound(std::uint64_t key) const noexcept;
+  /// Dense ordinal of a present key (CHECK: present).
+  std::size_t ordinal(std::uint64_t key) const;
+  /// The `ordinal`-th smallest present key (CHECK: ordinal < size()).
+  std::uint64_t key_at(std::size_t ordinal) const;
+
+  /// Heap bytes across both levels (capacities).
+  std::uint64_t heap_bytes() const noexcept;
+
+  /// Logical equality: same universe and key set.
+  friend bool operator==(const RowIndex& a, const RowIndex& b);
+
+ private:
+  static constexpr std::uint32_t kAbsentBlock = 0xFFFFFFFFu;
+  static constexpr std::uint64_t kBlockSize = 1ull << kBlockBits;
+
+  std::uint64_t key_limit_ = 0;
+  std::size_t keys_ = 0;
+  std::vector<std::uint32_t> dir_;       ///< block -> slot | kAbsentBlock
+  std::vector<std::uint32_t> block_id_;  ///< slot -> block number
+  std::vector<std::uint32_t> start_;     ///< slot -> first ordinal (+ end)
+  std::vector<std::uint64_t> coarse_;    ///< slot -> 8-keys-per-bit bitmap
+  PackedVector in_block_;                ///< ordinal -> key within block
+};
+
+}  // namespace explframe

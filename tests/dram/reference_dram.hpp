@@ -1,0 +1,580 @@
+// Test-only reference copy of the PRE-PACKED DRAM state representation.
+//
+// This header freezes the seed's hash-map-of-heap-rows bookkeeping exactly
+// as it stood before the bit-packed SoA refactor:
+//
+//   * RefWeakCellModel  — std::unordered_map<row, std::vector<WeakCell>>
+//   * RefDevice         — per-row disturbance / TRR sampler / live-flip
+//                         unordered_maps, a 1-byte-per-row weak-row array,
+//                         and an AoS FlipEvent log
+//
+// tests/dram/packed_differential_test.cpp drives this implementation and
+// the production (packed) DramDevice through identical operation storms
+// and asserts observable equality: representation-differential testing.
+// bench/bench_geometry.cpp instantiates it to measure the seed layout's
+// resident footprint against the packed arenas.
+//
+// ONE deliberate divergence from the seed, shared with the packed
+// implementation: TRR sampler eviction breaks count ties by smallest row.
+// The seed broke ties by unordered_map iteration order (a latent
+// platform dependence); no registered scenario or sweep ever fires an
+// eviction (verified by instrumentation), so goldens pin both versions.
+//
+// NEVER include this from src/ — it exists so the old layout stays
+// testable against, not so it stays usable.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/address_mapping.hpp"
+#include "dram/dram_device.hpp"
+#include "dram/geometry.hpp"
+#include "dram/weak_cells.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/units.hpp"
+
+namespace explframe::refdram {
+
+using dram::DeviceParams;
+using dram::DramAddress;
+using dram::FlipEvent;
+using dram::Geometry;
+using dram::PhysAddr;
+using dram::WeakCell;
+using dram::WeakCellParams;
+
+/// Seed-layout weak-cell population: unordered map of flat row to a heap
+/// vector of WeakCell. Same RNG stream and population as the packed model.
+class RefWeakCellModel {
+ public:
+  RefWeakCellModel(const Geometry& geometry, const WeakCellParams& params,
+                   std::uint64_t seed)
+      : params_(params) {
+    EXPLFRAME_CHECK(params.cells_per_mib >= 0.0);
+    Rng rng(seed ^ 0xdead5eedULL);
+
+    const double expected =
+        params.cells_per_mib *
+        (static_cast<double>(geometry.total_bytes()) /
+         static_cast<double>(kMiB));
+    std::size_t count;
+    if (expected > 64.0) {
+      count = static_cast<std::size_t>(std::max(
+          0.0, std::round(rng.normal(expected, std::sqrt(expected)))));
+    } else {
+      const double limit = std::exp(-expected);
+      double prod = rng.uniform01();
+      count = 0;
+      while (prod > limit) {
+        ++count;
+        prod *= rng.uniform01();
+      }
+    }
+
+    const std::uint64_t rows = geometry.total_rows();
+    for (std::size_t i = 0; i < count; ++i) {
+      WeakCell cell;
+      cell.col = static_cast<std::uint32_t>(rng.uniform(geometry.row_bytes));
+      cell.bit = static_cast<std::uint8_t>(rng.uniform(8));
+      const double t = std::exp(
+          rng.normal(params.threshold_log_mean, params.threshold_log_sigma));
+      cell.threshold = static_cast<std::uint32_t>(
+          std::clamp<double>(t, params.threshold_min, params.threshold_max));
+      cell.true_cell = rng.bernoulli(params.true_cell_fraction);
+      if (rng.bernoulli(params.single_sided_fraction)) {
+        if (rng.bernoulli(0.5)) {
+          cell.couple_above = 1.0F;
+          cell.couple_below = 0.0F;
+        } else {
+          cell.couple_above = 0.0F;
+          cell.couple_below = 1.0F;
+        }
+      } else {
+        cell.couple_above = 1.0F;
+        cell.couple_below = static_cast<float>(0.5 + 0.5 * rng.uniform01());
+        if (rng.bernoulli(0.5)) std::swap(cell.couple_above, cell.couple_below);
+      }
+      const std::uint64_t row = rng.uniform(rows);
+      auto& vec = by_row_[row];
+      const bool dup =
+          std::any_of(vec.begin(), vec.end(), [&](const WeakCell& w) {
+            return w.col == cell.col && w.bit == cell.bit;
+          });
+      if (dup) continue;
+      vec.push_back(cell);
+      ++total_;
+    }
+  }
+
+  /// Weak cells in the given row (empty vector if none), insertion order.
+  const std::vector<WeakCell>& cells_in_row(std::uint64_t flat_row) const {
+    static const std::vector<WeakCell> kEmpty;
+    const auto it = by_row_.find(flat_row);
+    return it == by_row_.end() ? kEmpty : it->second;
+  }
+
+  std::size_t total_cells() const noexcept { return total_; }
+
+  /// Rows with at least one weak cell, sorted (the seed sorted after
+  /// walking the map).
+  std::vector<std::uint64_t> vulnerable_rows() const {
+    std::vector<std::uint64_t> rows;
+    rows.reserve(by_row_.size());
+    for (const auto& [row, cells] : by_row_)
+      if (!cells.empty()) rows.push_back(row);
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  }
+
+  /// Resident bytes of this layout under a transparent cost model:
+  /// hash nodes (value + list pointer + allocator overhead), the bucket
+  /// array, and each row's heap vector (capacity, + one malloc header).
+  /// Documented in bench/bench_geometry.cpp; deliberately conservative
+  /// (real malloc rounds sizes up further).
+  std::uint64_t state_bytes() const {
+    constexpr std::uint64_t kPtr = sizeof(void*);
+    constexpr std::uint64_t kMallocHeader = 16;
+    std::uint64_t bytes = by_row_.bucket_count() * kPtr;
+    for (const auto& [row, cells] : by_row_) {
+      bytes += sizeof(row) + sizeof(cells) + kPtr + kMallocHeader;  // node
+      bytes += cells.capacity() * sizeof(WeakCell) + kMallocHeader;
+    }
+    return bytes;
+  }
+
+ private:
+  WeakCellParams params_;
+  std::unordered_map<std::uint64_t, std::vector<WeakCell>> by_row_;
+  std::size_t total_ = 0;
+};
+
+/// Seed-layout DRAM device: behaviourally the pre-refactor DramDevice,
+/// copied verbatim (modulo the documented eviction tie-break) with its
+/// unordered_map bookkeeping intact.
+class RefDevice {
+ public:
+  /// Disturbance accumulated by one weak row this refresh window.
+  struct RowDisturbance {
+    std::uint32_t acts_above = 0;
+    std::uint32_t acts_below = 0;
+  };
+  /// A flipped-but-not-yet-rewritten bit (ECC bookkeeping).
+  struct LiveFlip {
+    std::uint32_t col;
+    std::uint8_t bit;
+  };
+
+  /// Old-layout snapshot image (maps and AoS vectors, CoW row payloads).
+  struct Image {
+    std::unordered_map<std::uint64_t, std::shared_ptr<std::uint8_t[]>> rows;
+    std::vector<std::int64_t> open_row;
+    std::unordered_map<std::uint64_t, RowDisturbance> disturbance;
+    std::vector<FlipEvent> flips;
+    std::unordered_map<std::uint64_t, std::vector<LiveFlip>> live_flips;
+    std::unordered_map<std::uint64_t, std::uint32_t> trr_sampler;
+    SimTime now = 0;
+    SimTime next_refresh = 0;
+    std::uint64_t mutation_epoch = 0;
+    std::uint64_t total_flips = 0;
+    std::uint64_t total_acts = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t trr_hits = 0;
+    std::uint64_t ecc_corrected = 0;
+    std::uint64_t ecc_uncorrectable = 0;
+  };
+
+  RefDevice(const Geometry& geometry, const DeviceParams& params,
+            std::uint64_t seed)
+      : geometry_(geometry),
+        params_(params),
+        mapping_(geometry, params.mapping),
+        weak_cells_(geometry, params.weak_cells, seed),
+        zero_row_(std::make_unique<std::uint8_t[]>(geometry.row_bytes)),
+        open_row_(geometry.total_banks(), -1),
+        weak_row_(geometry.total_rows(), 0),
+        next_refresh_(params.timings.refresh_window_ns) {
+    EXPLFRAME_CHECK(params.timings.refresh_window_ns > 0);
+    EXPLFRAME_CHECK(geometry.total_rows() > 0 && geometry.row_bytes > 0);
+    std::memset(zero_row_.get(), 0, geometry_.row_bytes);
+    for (const std::uint64_t r : weak_cells_.vulnerable_rows())
+      weak_row_[r] = 1;
+  }
+
+  // ---- Snapshot --------------------------------------------------------
+  /// Capture the full mutable state (CoW row payloads).
+  Image capture_image() const {
+    Image image;
+    image.rows = rows_;
+    image.open_row = open_row_;
+    image.disturbance = disturbance_;
+    image.flips = flips_;
+    image.live_flips = live_flips_;
+    image.trr_sampler = trr_sampler_;
+    image.now = now_;
+    image.next_refresh = next_refresh_;
+    image.mutation_epoch = mutation_epoch_;
+    image.total_flips = total_flips_;
+    image.total_acts = total_acts_;
+    image.refreshes = refreshes_;
+    image.trr_hits = trr_hits_;
+    image.ecc_corrected = ecc_corrected_;
+    image.ecc_uncorrectable = ecc_uncorrectable_;
+    return image;
+  }
+
+  /// Restore exactly; the mutation epoch strictly advances.
+  void restore_image(const Image& image) {
+    rows_ = image.rows;
+    open_row_ = image.open_row;
+    disturbance_ = image.disturbance;
+    flips_ = image.flips;
+    live_flips_ = image.live_flips;
+    trr_sampler_ = image.trr_sampler;
+    now_ = image.now;
+    next_refresh_ = image.next_refresh;
+    total_flips_ = image.total_flips;
+    total_acts_ = image.total_acts;
+    refreshes_ = image.refreshes;
+    trr_hits_ = image.trr_hits;
+    ecc_corrected_ = image.ecc_corrected;
+    ecc_uncorrectable_ = image.ecc_uncorrectable;
+    mutation_epoch_ = std::max(mutation_epoch_, image.mutation_epoch) + 1;
+  }
+
+  // ---- Data path -------------------------------------------------------
+  /// Read bytes (ECC-filtered when enabled).
+  void read(PhysAddr addr, std::span<std::uint8_t> out) {
+    EXPLFRAME_CHECK(addr + out.size() <= geometry_.total_bytes());
+    std::size_t done = 0;
+    while (done < out.size()) {
+      const DramAddress c = mapping_.decode(addr + done);
+      const std::uint64_t fr = dram::flat_row(geometry_, c);
+      const std::size_t chunk = std::min<std::size_t>(
+          out.size() - done, geometry_.row_bytes - c.col);
+      std::memcpy(out.data() + done, row_view(fr) + c.col, chunk);
+      if (params_.ecc.enabled) ecc_filter(fr, c.col, out.subspan(done, chunk));
+      done += chunk;
+    }
+  }
+
+  /// Write bytes; rewrites clear live-flip records in range.
+  void write(PhysAddr addr, std::span<const std::uint8_t> in) {
+    EXPLFRAME_CHECK(addr + in.size() <= geometry_.total_bytes());
+    ++mutation_epoch_;
+    std::size_t done = 0;
+    while (done < in.size()) {
+      const DramAddress c = mapping_.decode(addr + done);
+      const std::uint64_t fr = dram::flat_row(geometry_, c);
+      const std::size_t chunk =
+          std::min<std::size_t>(in.size() - done, geometry_.row_bytes - c.col);
+      std::memcpy(row_storage(fr) + c.col, in.data() + done, chunk);
+      clear_live_flips(fr, c.col, chunk);
+      done += chunk;
+    }
+  }
+
+  /// Fill a byte range; rewrites clear live-flip records in range.
+  void fill(PhysAddr addr, std::uint8_t value, std::uint64_t len) {
+    EXPLFRAME_CHECK(addr + len <= geometry_.total_bytes());
+    ++mutation_epoch_;
+    std::uint64_t done = 0;
+    while (done < len) {
+      const DramAddress c = mapping_.decode(addr + done);
+      const std::uint64_t fr = dram::flat_row(geometry_, c);
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(len - done, geometry_.row_bytes - c.col);
+      std::memset(row_storage(fr) + c.col, value, chunk);
+      clear_live_flips(fr, c.col, chunk);
+      done += chunk;
+    }
+  }
+
+  // ---- Timing-visible access path --------------------------------------
+  /// One uncached access: activation + disturbance + latency.
+  SimTime access(PhysAddr addr) {
+    EXPLFRAME_CHECK(addr < geometry_.total_bytes());
+    const DramAddress c = mapping_.decode(addr);
+    const std::uint64_t bank = dram::flat_bank(geometry_, c);
+    SimTime latency;
+    if (open_row_[bank] == static_cast<std::int64_t>(c.row)) {
+      latency = params_.timings.row_hit_ns;
+    } else {
+      latency = params_.timings.row_conflict_ns;
+      open_row_[bank] = static_cast<std::int64_t>(c.row);
+      ++total_acts_;
+      apply_disturbance(c);
+    }
+    advance(latency);
+    return latency;
+  }
+
+  /// The seed's per-access hammer loop (no analytic fast path: the
+  /// reference is the semantics, not the speed).
+  void hammer(std::span<const PhysAddr> aggressors, std::uint64_t iterations) {
+    for (std::uint64_t i = 0; i < iterations; ++i)
+      for (const PhysAddr a : aggressors) access(a);
+  }
+
+  // ---- Maintenance -----------------------------------------------------
+  /// Advance the device clock without accesses.
+  void idle(SimTime duration) { advance(duration); }
+
+  /// Force a full refresh now.
+  void refresh_now() {
+    disturbance_.clear();
+    trr_sampler_.clear();
+    ++refreshes_;
+    next_refresh_ = now_ + params_.timings.refresh_window_ns;
+  }
+
+  /// Deterministically flip one stored bit.
+  void inject_flip(PhysAddr addr, std::uint8_t bit) {
+    EXPLFRAME_CHECK(addr < geometry_.total_bytes() && bit < 8);
+    const DramAddress c = mapping_.decode(addr);
+    const std::uint64_t fr = dram::flat_row(geometry_, c);
+    std::uint8_t* data = row_storage(fr);
+    const bool was_set = (data[c.col] >> bit) & 1u;
+    data[c.col] = static_cast<std::uint8_t>(data[c.col] ^ (1u << bit));
+    FlipEvent ev;
+    ev.addr = addr;
+    ev.coord = c;
+    ev.bit = bit;
+    ev.to_one = !was_set;
+    ev.time = now_;
+    flips_.push_back(ev);
+    live_flips_[fr].push_back({c.col, bit});
+    ++total_flips_;
+    ++mutation_epoch_;
+  }
+
+  // ---- Flip log / statistics -------------------------------------------
+  /// All flips since the last drain, in occurrence order.
+  std::vector<FlipEvent> drain_flips() {
+    std::vector<FlipEvent> out;
+    out.swap(flips_);
+    return out;
+  }
+
+  const RefWeakCellModel& weak_cells() const noexcept { return weak_cells_; }
+  SimTime now() const noexcept { return now_; }
+  std::uint64_t mutation_epoch() const noexcept { return mutation_epoch_; }
+  std::uint64_t total_flips() const noexcept { return total_flips_; }
+  std::uint64_t total_activations() const noexcept { return total_acts_; }
+  std::uint64_t refresh_count() const noexcept { return refreshes_; }
+  std::uint64_t trr_interventions() const noexcept { return trr_hits_; }
+  std::uint64_t ecc_corrected_bits() const noexcept { return ecc_corrected_; }
+  std::uint64_t ecc_uncorrectable_words() const noexcept {
+    return ecc_uncorrectable_;
+  }
+
+  /// Resident bytes of the seed layout's geometry-scaled state under the
+  /// cost model documented in bench/bench_geometry.cpp: the weak-cell map,
+  /// the 1-byte-per-row weak-row array, and the open-row table. Transient
+  /// window state (disturbance, sampler, live flips) is excluded on both
+  /// sides of the comparison.
+  std::uint64_t state_bytes() const {
+    return weak_cells_.state_bytes() + weak_row_.capacity() +
+           open_row_.capacity() * sizeof(std::int64_t);
+  }
+
+ private:
+  std::uint8_t* row_storage(std::uint64_t flat_row) {
+    auto it = rows_.find(flat_row);
+    if (it == rows_.end()) {
+      std::shared_ptr<std::uint8_t[]> buf(
+          new std::uint8_t[geometry_.row_bytes]);
+      std::memset(buf.get(), 0, geometry_.row_bytes);
+      it = rows_.emplace(flat_row, std::move(buf)).first;
+    } else if (it->second.use_count() > 1) {
+      std::shared_ptr<std::uint8_t[]> buf(
+          new std::uint8_t[geometry_.row_bytes]);
+      std::memcpy(buf.get(), it->second.get(), geometry_.row_bytes);
+      it->second = std::move(buf);
+    }
+    return it->second.get();
+  }
+
+  const std::uint8_t* row_view(std::uint64_t flat_row) const {
+    const auto it = rows_.find(flat_row);
+    return it != rows_.end() ? it->second.get() : zero_row_.get();
+  }
+
+  void advance(SimTime dt) {
+    now_ += dt;
+    while (now_ >= next_refresh_) {
+      disturbance_.clear();
+      trr_sampler_.clear();
+      ++refreshes_;
+      next_refresh_ += params_.timings.refresh_window_ns;
+    }
+  }
+
+  void trr_observe(std::uint64_t aggressor_flat) {
+    auto it = trr_sampler_.find(aggressor_flat);
+    if (it == trr_sampler_.end()) {
+      if (trr_sampler_.size() >= params_.trr.sampler_entries) {
+        // Evict the coldest tracked row; ties break to the smallest row
+        // (the documented divergence from the seed's iteration-order tie).
+        auto coldest = trr_sampler_.begin();
+        for (auto i = trr_sampler_.begin(); i != trr_sampler_.end(); ++i)
+          if (i->second < coldest->second ||
+              (i->second == coldest->second && i->first < coldest->first))
+            coldest = i;
+        trr_sampler_.erase(coldest);
+      }
+      it = trr_sampler_.emplace(aggressor_flat, 0).first;
+    }
+    if (++it->second < params_.trr.threshold) return;
+    ++trr_hits_;
+    it->second = 0;
+    const std::uint64_t row_in_bank = aggressor_flat % geometry_.rows_per_bank;
+    if (row_in_bank > 0) disturbance_.erase(aggressor_flat - 1);
+    if (row_in_bank + 1 < geometry_.rows_per_bank)
+      disturbance_.erase(aggressor_flat + 1);
+  }
+
+  void clear_live_flips(std::uint64_t flat_row, std::uint32_t col,
+                        std::uint64_t len) {
+    const auto it = live_flips_.find(flat_row);
+    if (it == live_flips_.end()) return;
+    auto& vec = it->second;
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [&](const LiveFlip& f) {
+                               return f.col >= col && f.col < col + len;
+                             }),
+              vec.end());
+    if (vec.empty()) live_flips_.erase(it);
+  }
+
+  void ecc_filter(std::uint64_t flat_row, std::uint32_t col,
+                  std::span<std::uint8_t> chunk) {
+    const auto it = live_flips_.find(flat_row);
+    if (it == live_flips_.end()) return;
+    std::unordered_map<std::uint32_t, std::vector<const LiveFlip*>> by_word;
+    for (const LiveFlip& f : it->second) by_word[f.col / 8].push_back(&f);
+    for (const auto& [word, flips] : by_word) {
+      const std::uint32_t word_lo = word * 8;
+      if (word_lo + 8 <= col || word_lo >= col + chunk.size()) continue;
+      if (flips.size() == 1) {
+        const LiveFlip& f = *flips.front();
+        if (f.col >= col && f.col < col + chunk.size()) {
+          chunk[f.col - col] ^= static_cast<std::uint8_t>(1u << f.bit);
+          ++ecc_corrected_;
+        }
+      } else {
+        ++ecc_uncorrectable_;
+      }
+    }
+  }
+
+  bool aggressor_bit(const DramAddress& victim, std::int32_t delta,
+                     std::uint32_t col, std::uint8_t bit) {
+    DramAddress a = victim;
+    const std::int64_t row = static_cast<std::int64_t>(victim.row) + delta;
+    if (row < 0 || row >= static_cast<std::int64_t>(geometry_.rows_per_bank))
+      return false;
+    a.row = static_cast<std::uint32_t>(row);
+    const std::uint64_t fr = dram::flat_row(geometry_, a);
+    const auto it = rows_.find(fr);
+    if (it == rows_.end()) return false;
+    return (it->second[col] >> bit) & 1u;
+  }
+
+  void check_victim_row(std::uint64_t victim_flat, const DramAddress& victim,
+                        const RowDisturbance& d) {
+    const auto& cells = weak_cells_.cells_in_row(victim_flat);
+    if (cells.empty()) return;
+    const std::uint8_t* data = row_view(victim_flat);
+    std::uint8_t* mut = nullptr;
+    for (const WeakCell& cell : cells) {
+      const bool stored = ((mut ? mut : data)[cell.col] >> cell.bit) & 1u;
+      if (stored != cell.true_cell) continue;
+
+      double effective =
+          static_cast<double>(d.acts_above) * cell.couple_above +
+          static_cast<double>(d.acts_below) * cell.couple_below;
+      if (params_.data_pattern_sensitivity) {
+        const bool above = aggressor_bit(victim, -1, cell.col, cell.bit);
+        const bool below = aggressor_bit(victim, +1, cell.col, cell.bit);
+        const bool any_opposite = (above != stored) || (below != stored);
+        if (!any_opposite) effective *= params_.same_pattern_coupling;
+      }
+      if (effective < static_cast<double>(cell.threshold)) continue;
+
+      if (!mut) mut = row_storage(victim_flat);
+      mut[cell.col] =
+          static_cast<std::uint8_t>(mut[cell.col] ^ (1u << cell.bit));
+      DramAddress at = victim;
+      at.col = cell.col;
+      FlipEvent ev;
+      ev.addr = mapping_.encode(at);
+      ev.coord = at;
+      ev.bit = cell.bit;
+      ev.to_one = !stored;
+      ev.time = now_;
+      flips_.push_back(ev);
+      live_flips_[victim_flat].push_back({cell.col, cell.bit});
+      ++total_flips_;
+      ++mutation_epoch_;
+    }
+  }
+
+  void apply_disturbance(const DramAddress& aggressor) {
+    const std::uint64_t agg_flat = dram::flat_row(geometry_, aggressor);
+    if (params_.trr.enabled) trr_observe(agg_flat);
+    if (aggressor.row > 0) {
+      const std::uint64_t victim_flat = agg_flat - 1;
+      if (weak_row_[victim_flat] != 0) {
+        auto& d = disturbance_[victim_flat];
+        ++d.acts_below;
+        DramAddress victim = aggressor;
+        victim.row -= 1;
+        check_victim_row(victim_flat, victim, d);
+      }
+    }
+    if (aggressor.row + 1 < geometry_.rows_per_bank) {
+      const std::uint64_t victim_flat = agg_flat + 1;
+      if (weak_row_[victim_flat] != 0) {
+        auto& d = disturbance_[victim_flat];
+        ++d.acts_above;
+        DramAddress victim = aggressor;
+        victim.row += 1;
+        check_victim_row(victim_flat, victim, d);
+      }
+    }
+  }
+
+  Geometry geometry_;
+  DeviceParams params_;
+  dram::AddressMapping mapping_;
+  RefWeakCellModel weak_cells_;
+
+  std::unordered_map<std::uint64_t, std::shared_ptr<std::uint8_t[]>> rows_;
+  std::unique_ptr<std::uint8_t[]> zero_row_;
+  std::vector<std::int64_t> open_row_;
+  std::vector<std::uint8_t> weak_row_;
+  std::unordered_map<std::uint64_t, RowDisturbance> disturbance_;
+  std::vector<FlipEvent> flips_;
+  std::unordered_map<std::uint64_t, std::vector<LiveFlip>> live_flips_;
+  std::unordered_map<std::uint64_t, std::uint32_t> trr_sampler_;
+
+  SimTime now_ = 0;
+  SimTime next_refresh_ = 0;
+  std::uint64_t mutation_epoch_ = 0;
+  std::uint64_t total_flips_ = 0;
+  std::uint64_t total_acts_ = 0;
+  std::uint64_t refreshes_ = 0;
+  std::uint64_t trr_hits_ = 0;
+  std::uint64_t ecc_corrected_ = 0;
+  std::uint64_t ecc_uncorrectable_ = 0;
+};
+
+}  // namespace explframe::refdram

@@ -1,0 +1,114 @@
+// tests/race/ — the multi-rank giant-geometry leg of the TSan surface.
+//
+// The packed-SoA DRAM state exists to make multi-GB modules affordable, so
+// the thread-count-invariance contract must hold on exactly those shapes:
+// an 8 GiB module is the smallest capacity Geometry::with_capacity spreads
+// across multiple ranks, which moves bank/rank arithmetic, the weak-cell
+// RowIndex directory and the per-bank disturbance slabs into ranges a
+// single-rank test never reaches. Campaign runs at 1/4/hardware threads
+// and concurrently forked trial groups must produce byte-identical
+// reports; under -DEXPLFRAME_SANITIZE=thread the same traffic doubles as
+// the race audit of the packed tables' snapshot/fork paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attack/campaign_runner.hpp"
+#include "dram/geometry.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "support/units.hpp"
+
+namespace explframe::attack {
+namespace {
+
+constexpr std::uint64_t kGiantBytes = 8ull << 30;  // smallest multi-rank
+
+std::uint32_t hardware_threads() {
+  return std::max(2u, std::thread::hardware_concurrency());
+}
+
+/// The quickstart attack rebased onto the 8 GiB module, with enough trials
+/// that a wide pool's workers each run several.
+RunnerConfig giant_config(std::uint32_t threads) {
+  RunnerConfig cfg = scenario::builtin_scenario("quickstart").runner_config();
+  cfg.system.memory_bytes = kGiantBytes;
+  cfg.trials = std::max<std::uint32_t>(6, hardware_threads());
+  cfg.threads = threads;
+  return cfg;
+}
+
+/// Collapse an aggregate to the byte-stable emitter output (markdown +
+/// CSV; wall-clock is excluded by the emitters themselves).
+std::string deterministic_digest(const CampaignAggregate& aggregate) {
+  scenario::ScenarioResult result;
+  result.scenario = scenario::builtin_scenario("quickstart");
+  result.aggregate = aggregate;
+  return scenario::markdown_report(result) + "\n" +
+         scenario::csv_report(result);
+}
+
+TEST(GiantGeometryRace, CapacitySpreadsAcrossRanks) {
+  // Guard the premise: if with_capacity ever stops adding ranks at this
+  // size, the suite below silently loses its multi-rank coverage.
+  const dram::Geometry g = dram::Geometry::with_capacity(kGiantBytes);
+  EXPECT_GT(g.ranks, 1u);
+  EXPECT_EQ(g.total_bytes(), kGiantBytes);
+}
+
+TEST(GiantGeometryRace, ReportsByteIdenticalAcrossThreadCounts) {
+  const std::string serial =
+      deterministic_digest(CampaignRunner(giant_config(1)).run());
+  for (const std::uint32_t threads : {4u, hardware_threads()}) {
+    const std::string wide =
+        deterministic_digest(CampaignRunner(giant_config(threads)).run());
+    EXPECT_EQ(serial, wide) << "thread count " << threads
+                            << " changed emitted report bytes";
+  }
+}
+
+TEST(GiantGeometryRace, ConcurrentTrialGroupsForkIdentically) {
+  // Snapshot-forked trial families on the multi-rank module: each lane
+  // templates one 8 GiB machine, snapshots it and forks a 3-variant
+  // group, so the packed arenas' capture/restore runs under maximum
+  // cross-thread pressure.
+  const RunnerConfig base = giant_config(1);
+  std::vector<CampaignConfig> variants;
+  for (const std::uint32_t budget : {1500u, 4000u, 8000u}) {
+    CampaignConfig cfg = base.campaign;
+    cfg.ciphertext_budget = budget;
+    variants.push_back(cfg);
+  }
+  const std::vector<CampaignReport> expected =
+      CampaignRunner::run_trial_group(base, variants, /*trial=*/0);
+  ASSERT_EQ(expected.size(), variants.size());
+
+  const std::uint32_t lanes = hardware_threads();
+  std::vector<std::vector<CampaignReport>> got(lanes);
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(lanes);
+    for (std::uint32_t i = 0; i < lanes; ++i)
+      pool.emplace_back([&base, &variants, &got, i] {
+        got[i] = CampaignRunner::run_trial_group(base, variants, /*trial=*/0);
+      });
+    for (auto& t : pool) t.join();
+  }
+  for (std::uint32_t i = 0; i < lanes; ++i) {
+    ASSERT_EQ(got[i].size(), expected.size()) << "lane " << i;
+    for (std::size_t v = 0; v < expected.size(); ++v) {
+      EXPECT_EQ(got[i][v].success, expected[v].success);
+      EXPECT_EQ(got[i][v].total_time, expected[v].total_time);
+      EXPECT_EQ(got[i][v].ciphertexts_used, expected[v].ciphertexts_used);
+      EXPECT_EQ(got[i][v].recovered_key, expected[v].recovered_key);
+      EXPECT_EQ(got[i][v].rows_scanned, expected[v].rows_scanned);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace explframe::attack

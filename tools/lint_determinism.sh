@@ -18,9 +18,14 @@
 #                   friends outside src/support/rng.*: all randomness must
 #                   flow from explicitly seeded support/rng streams.
 #   unordered-emit  any unordered container in the byte-stable emitter
-#                   translation units (src/*/report.*, src/support/table.*):
-#                   unordered iteration order is not part of the contract,
-#                   so emitters must use ordered containers end to end.
+#                   translation units (src/*/report.*, src/support/table.*)
+#                   or in the packed DRAM-state units whose iteration order
+#                   feeds emitted bytes (src/support/packed.*,
+#                   src/dram/weak_cells.*, src/dram/packed_state.*: the
+#                   sorted arena defines vulnerable_rows() and flip-log
+#                   emit order): unordered iteration order is not part of
+#                   the contract, so these units must use ordered
+#                   containers end to end.
 #   uninit-seed     a seed member declared without an initializer: every
 #                   seed has a defined default, or replay depends on
 #                   whatever the stack held.
@@ -49,10 +54,14 @@ scan() {
   f="$1"
   awk -v file="$f" '
     function is_emitter(path) {
-      # The byte-stable emitter units (scenario/sweep report + table), and
-      # the self-test fixture standing in for them.
+      # The byte-stable emitter units (scenario/sweep report + table), the
+      # packed DRAM-state units whose iteration order reaches emitted
+      # bytes (sorted weak-cell arena -> vulnerable_rows() and flip-log
+      # order), and the self-test fixture standing in for them.
       return (path ~ /^src\/[a-z]+\/report\.(cpp|hpp)$/ ||
               path ~ /^src\/support\/table\.(cpp|hpp)$/ ||
+              path ~ /^src\/support\/packed\.(cpp|hpp)$/ ||
+              path ~ /^src\/dram\/(weak_cells|packed_state)\.(cpp|hpp)$/ ||
               path ~ /^tools\/fixtures\/report\.cpp$/)
     }
     function escape_rule(line) {
